@@ -1,0 +1,78 @@
+// Leaderelection reproduces the paper's case study (§4): the Leader
+// Election Protocol with its three test purposes TP1-TP3, a miniature of
+// Table 1, and an actual strategy-guided test run for TP1 against a
+// simulated protocol node.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tigatest"
+	"tigatest/internal/models"
+)
+
+func main() {
+	// --- the three test purposes at n=3 ---------------------------------
+	n := 3
+	sys := models.LEP(models.LEPOptions{Nodes: n})
+	ranges := models.LEPEnv(sys, n).Ranges
+	plant := models.LEPPlant(sys)
+
+	fmt.Printf("Leader Election Protocol, n=%d (buffer size %d, addresses 0..%d)\n\n", n, n, n-1)
+	purposes := []struct {
+		name, src string
+	}{
+		{"TP1", models.LEPTP1},
+		{"TP2", models.LEPTP2},
+		{"TP3", models.LEPTP3},
+	}
+	var tp1 *tigatest.SolveResult
+	for _, tp := range purposes {
+		res, err := tigatest.Synthesize(sys, tp.src, ranges,
+			tigatest.SolveOptions{EarlyTermination: true, TimeBudget: time.Minute})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %s\n", tp.name, tigatest.Describe(res))
+		if tp.name == "TP1" {
+			tp1 = res
+		}
+	}
+
+	// --- a mini Table 1 over n=3..4 --------------------------------------
+	fmt.Println("\nmini Table 1 (time to synthesize, this machine; run cmd/lep for the full grid):")
+	fmt.Printf("%-5s %10s %10s\n", "", "n=3", "n=4")
+	for _, tp := range purposes {
+		fmt.Printf("%-5s", tp.name)
+		for nn := 3; nn <= 4; nn++ {
+			s := models.LEP(models.LEPOptions{Nodes: nn})
+			r := models.LEPEnv(s, nn).Ranges
+			t0 := time.Now()
+			if _, err := tigatest.Synthesize(s, tp.src, r,
+				tigatest.SolveOptions{EarlyTermination: true, TimeBudget: time.Minute}); err != nil {
+				fmt.Printf("%10s", "/")
+				continue
+			}
+			fmt.Printf("%9.3fs", time.Since(t0).Seconds())
+		}
+		fmt.Println()
+	}
+
+	// --- test a simulated node against TP1 -------------------------------
+	fmt.Println("\nTP1 test run against a simulated protocol node:")
+	iut := tigatest.SimulatedIUT(sys, plant, nil)
+	verdict := tigatest.Test(tp1.Strategy, iut, plant)
+	fmt.Println("  conformant node:", verdict)
+
+	// A node that forwards too late (its forward window widened).
+	for _, m := range tigatest.Mutants(sys, plant, 0) {
+		if m.Operator != "widen-invariant" {
+			continue
+		}
+		bad := tigatest.MutantIUT(m, plant, m.Policy)
+		v := tigatest.Test(tp1.Strategy, bad, plant)
+		fmt.Printf("  %s: %s\n", m.Description, v.Verdict)
+	}
+}

@@ -1,0 +1,81 @@
+// Smartlight walks through the paper's running example end to end:
+// the Fig. 2 light TIOGA composed with the Fig. 3 user TA, the test
+// purpose `control: A<> IUT.Bright`, the synthesized winning strategy
+// (the paper's Fig. 5), and conformance runs against implementations that
+// resolve the light's nondeterminism differently — including one that
+// always answers `dim`, which the strategy out-plays by re-touching
+// quickly and forcing `bright`.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"tigatest"
+	"tigatest/internal/models"
+)
+
+func main() {
+	sys := models.SmartLight()
+	plant := models.SmartLightPlant(sys)
+
+	// --- Fig. 5: the winning strategy -----------------------------------
+	res, err := tigatest.Synthesize(sys, models.SmartLightGoal, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tigatest.Describe(res))
+	if !res.Winnable {
+		log.Fatal("the running example must be winnable")
+	}
+	fmt.Println()
+	res.Strategy.Print(os.Stdout)
+
+	// --- test execution against different conformant lights -------------
+	fmt.Println("\n--- conformance runs ---")
+
+	// A light that answers as fast as possible.
+	eager := tigatest.SimulatedIUT(sys, plant, nil)
+	fmt.Println("eager light:     ", tigatest.Test(res.Strategy, eager, plant))
+
+	// A light that always prefers dim over bright (it may: the outputs are
+	// its choice). The strategy still forces Bright via the quick re-touch.
+	dimCh, _ := sys.ChannelByName("dim")
+	stubborn := &tigatest.DetPolicy{Priority: map[int]int{}}
+	for _, p := range sys.Procs {
+		for _, e := range p.Edges {
+			if e.Dir == tigatest.Emit && e.Chan == dimCh {
+				stubborn.Priority[e.ID] = -1
+			}
+		}
+	}
+	dimLover := tigatest.SimulatedIUT(sys, plant, stubborn)
+	fmt.Println("dim-loving light:", tigatest.Test(res.Strategy, dimLover, plant))
+
+	// A light that waits as long as allowed before answering.
+	lazy := &tigatest.DetPolicy{ByEdge: map[int]tigatest.OutputDecision{}}
+	for _, p := range sys.Procs {
+		for _, e := range p.Edges {
+			if e.Dir == tigatest.Emit {
+				lazy.ByEdge[e.ID] = tigatest.OutputDecision{Enabled: true, Offset: 2*tigatest.Scale - 1}
+			}
+		}
+	}
+	procrastinator := tigatest.SimulatedIUT(sys, plant, lazy)
+	fmt.Println("lazy light:      ", tigatest.Test(res.Strategy, procrastinator, plant))
+
+	// --- and one defective light ----------------------------------------
+	fmt.Println("\n--- a defective light ---")
+	for _, m := range tigatest.Mutants(sys, plant, 0) {
+		if m.Operator != "swap-output" {
+			continue
+		}
+		bad := tigatest.MutantIUT(m, plant, m.Policy)
+		v := tigatest.Test(res.Strategy, bad, plant)
+		if v.Verdict == tigatest.Fail {
+			fmt.Printf("%s\n  -> %s\n", m.Description, v)
+			break
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package adapter connects the test driver to implementations under test
+// across process boundaries: a TCP server that exposes any tiots.IUT (for
+// hosting a simulated or wrapped real implementation), and a TCP client
+// that implements tiots.IUT for the driver side. The wire protocol is
+// newline-delimited JSON under virtual time, so test runs are exactly
+// reproducible — the adapter transports the paper's Fig. 1/Fig. 4 arrows
+// "input", "output" and time.
+package adapter
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"tigatest/internal/tiots"
+)
+
+// message is one protocol frame.
+type message struct {
+	Type  string `json:"type"`            // "reset", "offer", "advance", "ok", "output", "quiet", "error"
+	Chan  int    `json:"chan,omitempty"`  // channel index for offer/output
+	Ticks int64  `json:"ticks,omitempty"` // advance budget / output offset
+	Err   string `json:"err,omitempty"`
+}
+
+// Server hosts an IUT on a listener. One connection is served at a time
+// (test drivers own the IUT exclusively).
+type Server struct {
+	iut tiots.IUT
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") and returns it; the
+// chosen address is available via Addr.
+func Serve(addr string, iut tiots.IUT) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{iut: iut, ln: ln}
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+func (s *Server) loop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			done := s.closed
+			s.mu.Unlock()
+			if done {
+				return
+			}
+			continue
+		}
+		s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var m message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		switch m.Type {
+		case "reset":
+			s.iut.Reset()
+			_ = enc.Encode(message{Type: "ok"})
+		case "offer":
+			if err := s.iut.Offer(m.Chan); err != nil {
+				_ = enc.Encode(message{Type: "error", Err: err.Error()})
+				continue
+			}
+			_ = enc.Encode(message{Type: "ok"})
+		case "advance":
+			out := s.iut.Advance(m.Ticks)
+			if out == nil {
+				_ = enc.Encode(message{Type: "quiet"})
+			} else {
+				_ = enc.Encode(message{Type: "output", Chan: out.Chan, Ticks: out.After})
+			}
+		default:
+			_ = enc.Encode(message{Type: "error", Err: "unknown message " + m.Type})
+		}
+	}
+}
+
+// Client is a tiots.IUT speaking the adapter protocol over TCP.
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+	err  error
+}
+
+// Dial connects to a Server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Err returns the first transport error encountered (the IUT interface has
+// no error returns on Advance; a broken transport reads as quiescence, and
+// the driver should check Err after a suspicious run).
+func (c *Client) Err() error { return c.err }
+
+func (c *Client) roundTrip(m message) (message, error) {
+	if c.err != nil {
+		return message{}, c.err
+	}
+	if err := c.enc.Encode(m); err != nil {
+		c.err = err
+		return message{}, err
+	}
+	var r message
+	if err := c.dec.Decode(&r); err != nil {
+		c.err = err
+		return message{}, err
+	}
+	if r.Type == "error" {
+		return r, fmt.Errorf("adapter: remote: %s", r.Err)
+	}
+	return r, nil
+}
+
+// Reset implements tiots.IUT.
+func (c *Client) Reset() {
+	_, _ = c.roundTrip(message{Type: "reset"})
+}
+
+// Offer implements tiots.IUT.
+func (c *Client) Offer(chanIdx int) error {
+	_, err := c.roundTrip(message{Type: "offer", Chan: chanIdx})
+	return err
+}
+
+// Advance implements tiots.IUT.
+func (c *Client) Advance(d int64) *tiots.Output {
+	r, err := c.roundTrip(message{Type: "advance", Ticks: d})
+	if err != nil {
+		return nil
+	}
+	if r.Type == "output" {
+		return &tiots.Output{Chan: r.Chan, After: r.Ticks}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package adapter
+
+import (
+	"testing"
+
+	"tigatest/internal/game"
+	"tigatest/internal/model"
+	"tigatest/internal/models"
+	"tigatest/internal/tctl"
+	"tigatest/internal/texec"
+	"tigatest/internal/tiots"
+)
+
+func TestRoundTripProtocol(t *testing.T) {
+	spec := models.SmartLight()
+	impl := model.ExtractPlant(spec, models.SmartLightPlant(spec), "Stub")
+	srv, err := Serve("127.0.0.1:0", tiots.NewDetIUT(impl, tiots.Scale, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	cli.Reset()
+	touch, _ := spec.ChannelByName("touch")
+	if err := cli.Offer(touch); err != nil {
+		t.Fatal(err)
+	}
+	// After a touch from Off (x=0 < Tidle) the light enters L1 and must dim
+	// within 2 units; the default policy fires as soon as enabled (t=0).
+	out := cli.Advance(5 * tiots.Scale)
+	if out == nil {
+		t.Fatal("expected the dim output over TCP")
+	}
+	dim, _ := spec.ChannelByName("dim")
+	if out.Chan != dim {
+		t.Fatalf("expected dim, got channel %d", out.Chan)
+	}
+	if cli.Err() != nil {
+		t.Fatal(cli.Err())
+	}
+}
+
+func TestQuietAdvance(t *testing.T) {
+	spec := models.SmartLight()
+	impl := model.ExtractPlant(spec, models.SmartLightPlant(spec), "Stub")
+	srv, err := Serve("127.0.0.1:0", tiots.NewDetIUT(impl, tiots.Scale, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.Reset()
+	// No input given: the light stays Off silently.
+	if out := cli.Advance(30 * tiots.Scale); out != nil {
+		t.Fatalf("expected quiescence, got %+v", out)
+	}
+}
+
+func TestFullRemoteTestRun(t *testing.T) {
+	// End-to-end: Algorithm 3.1 drives a black box over TCP and passes.
+	spec := models.SmartLight()
+	f := tctl.MustParse(models.SmartLightEnv(spec), models.SmartLightGoal)
+	res, err := game.Solve(spec, f, game.Options{})
+	if err != nil || !res.Winnable {
+		t.Fatalf("solve: %v winnable=%v", err, res != nil && res.Winnable)
+	}
+
+	impl := model.ExtractPlant(spec, models.SmartLightPlant(spec), "Stub")
+	srv, err := Serve("127.0.0.1:0", tiots.NewDetIUT(impl, tiots.Scale, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	verdict := texec.Run(res.Strategy, cli, texec.Options{PlantProcs: models.SmartLightPlant(spec)})
+	if verdict.Verdict != texec.Pass {
+		t.Fatalf("remote conformant implementation must pass, got %s", verdict)
+	}
+}
+
+func TestServerRejectsUnknownMessage(t *testing.T) {
+	spec := models.SmartLight()
+	impl := model.ExtractPlant(spec, models.SmartLightPlant(spec), "Stub")
+	srv, err := Serve("127.0.0.1:0", tiots.NewDetIUT(impl, tiots.Scale, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.roundTrip(message{Type: "bogus"}); err == nil {
+		t.Fatal("unknown message must be rejected")
+	}
+}

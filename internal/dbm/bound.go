@@ -1,0 +1,116 @@
+// Package dbm implements difference bound matrices (DBMs) and federations
+// (finite unions of DBMs), the symbolic representation of clock zones used
+// throughout the timed-game solver.
+//
+// A zone is a conjunction of constraints of the forms x ~ k and x - y ~ k
+// with ~ in {<, <=} (constraints with >, >= are expressed by swapping the
+// clock pair). A DBM over clocks x1..xn is an (n+1)x(n+1) matrix m where
+// m[i][j] is an upper bound on xi - xj and x0 is the constant-zero reference
+// clock. All exported operations keep DBMs in canonical (closed) form, i.e.
+// every entry is the tightest bound implied by the whole conjunction.
+package dbm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bound is one DBM entry: an upper bound "xi - xj < v" or "xi - xj <= v"
+// encoded UPPAAL-style as v<<1 | weak, where weak is 1 for <= and 0 for <.
+// Smaller encoded values are strictly tighter bounds, so min() on the raw
+// representation picks the tighter constraint.
+type Bound int32
+
+const (
+	// Infinity is the absent constraint ("xi - xj < infinity").
+	Infinity Bound = math.MaxInt32
+
+	// LEZero is the bound "<= 0", the diagonal entry of every non-empty DBM.
+	LEZero Bound = 1
+
+	// LTZero is the bound "< 0"; a diagonal entry at or below it means the
+	// zone is empty.
+	LTZero Bound = 0
+
+	// maxBoundValue guards against overflow when adding bounds.
+	maxBoundValue = math.MaxInt32 >> 2
+)
+
+// LE returns the non-strict bound "<= v".
+func LE(v int) Bound { return Bound(v)<<1 | 1 }
+
+// LT returns the strict bound "< v".
+func LT(v int) Bound { return Bound(v) << 1 }
+
+// MakeBound returns "< v" when strict, otherwise "<= v".
+func MakeBound(v int, strict bool) Bound {
+	if strict {
+		return LT(v)
+	}
+	return LE(v)
+}
+
+// Value returns the numeric part of the bound. It must not be called on
+// Infinity.
+func (b Bound) Value() int { return int(b >> 1) }
+
+// Weak reports whether the bound is non-strict (<=).
+func (b Bound) Weak() bool { return b&1 == 1 }
+
+// Strict reports whether the bound is strict (<).
+func (b Bound) Strict() bool { return b&1 == 0 }
+
+// IsInf reports whether the bound is the absent constraint.
+func (b Bound) IsInf() bool { return b == Infinity }
+
+// Add composes two bounds along a path: (xi-xk ~ a) and (xk-xj ~ b) imply
+// xi-xj ~' a+b, where ~' is <= only when both inputs are <=.
+func Add(a, b Bound) Bound {
+	if a == Infinity || b == Infinity {
+		return Infinity
+	}
+	v := int64(a>>1) + int64(b>>1)
+	if v > maxBoundValue {
+		return Infinity
+	}
+	if v < -maxBoundValue {
+		v = -maxBoundValue
+	}
+	return Bound(v)<<1 | (a & b & 1)
+}
+
+// Negate returns the complement boundary of b: the negation of the
+// constraint "xi - xj ~ v" is "xj - xi ~' -v" with strictness flipped.
+// Negate must not be called on Infinity (its negation is the empty
+// constraint "xj - xi < -infinity", which no zone satisfies).
+func (b Bound) Negate() Bound {
+	if b == Infinity {
+		panic("dbm: Negate(Infinity)")
+	}
+	return MakeBound(-b.Value(), b.Weak())
+}
+
+// String renders the bound as "<v", "<=v" or "inf".
+func (b Bound) String() string {
+	if b == Infinity {
+		return "inf"
+	}
+	if b.Weak() {
+		return fmt.Sprintf("<=%d", b.Value())
+	}
+	return fmt.Sprintf("<%d", b.Value())
+}
+
+// SatisfiedBy reports whether the scaled difference diff (a rational with
+// denominator scale) satisfies the constraint "diff ~ value", i.e. whether a
+// concrete clock difference lies under this bound.
+func (b Bound) SatisfiedBy(diff int64, scale int64) bool {
+	if b == Infinity {
+		return true
+	}
+	limit := int64(b.Value()) * scale
+	if b.Weak() {
+		return diff <= limit
+	}
+	return diff < limit
+}

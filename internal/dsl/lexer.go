@@ -1,0 +1,116 @@
+// Package dsl implements a small textual language for TIOGA networks so
+// models can live in files next to the code that tests them:
+//
+//	system smartlight
+//
+//	clock x, Tp
+//	int best = 3 range 0..3
+//	int inUse[4] range 0..1
+//	chan touch : input
+//	chan dim, bright : output
+//	range BufferId = 0..3
+//
+//	process IUT {
+//	    init Off
+//	    location Off
+//	    location L1 { inv Tp<=2 }
+//	    edge Off -> L1 on touch? when x<20 do { x:=0, Tp:=0 }
+//	    edge L1 -> Dim on dim! do { x:=0 }
+//	}
+//
+// Edges synchronize with `on name?` (receive) / `on name!` (emit) or are
+// internal with `tau input` / `tau output`. Guards after `when` conjoin
+// clock comparisons and data predicates with &&. The `do { ... }` block
+// mixes clock resets (x := 0) and data assignments.
+package dsl
+
+import (
+	"fmt"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNum
+	tokPunct
+	tokNewline
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNewline:
+		return "end of line"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenizes the input; newlines are significant (they terminate
+// declarations), comments run from // or # to end of line.
+func lex(src string) []token {
+	var toks []token
+	line := 1
+	i := 0
+	emitNL := func() {
+		// Collapse duplicate newline tokens.
+		if len(toks) > 0 && toks[len(toks)-1].kind != tokNewline {
+			toks = append(toks, token{tokNewline, "\\n", line})
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			emitNL()
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/', c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], line})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokNum, src[i:j], line})
+			i = j
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "->", "&&", "||", "==", "!=", "<=", ">=", "..", ":=":
+				toks = append(toks, token{tokPunct, two, line})
+				i += 2
+			default:
+				toks = append(toks, token{tokPunct, src[i : i+1], line})
+				i++
+			}
+		}
+	}
+	emitNL()
+	toks = append(toks, token{tokEOF, "", line})
+	return toks
+}

@@ -1,0 +1,241 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func newTestTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := NewTable()
+	tbl.MustDeclare(VarDecl{Name: "a", Min: 0, Max: 10, Init: []int{3}, Len: 1})
+	tbl.MustDeclare(VarDecl{Name: "b", Min: -5, Max: 5, Len: 1})
+	tbl.MustDeclare(VarDecl{Name: "arr", Min: 0, Max: 1, Len: 4, Init: []int{1, 0, 1, 0}})
+	return tbl
+}
+
+func ctx(tbl *Table) *Ctx {
+	return &Ctx{Tbl: tbl, Env: tbl.InitialEnv()}
+}
+
+func TestTableLayout(t *testing.T) {
+	tbl := newTestTable(t)
+	if tbl.Slots() != 6 {
+		t.Fatalf("slots = %d, want 6", tbl.Slots())
+	}
+	env := tbl.InitialEnv()
+	want := []int32{3, 0, 1, 0, 1, 0}
+	for i := range want {
+		if env[i] != want[i] {
+			t.Fatalf("env[%d] = %d, want %d", i, env[i], want[i])
+		}
+	}
+}
+
+func TestDeclareErrors(t *testing.T) {
+	tbl := NewTable()
+	if _, err := tbl.Declare(VarDecl{Name: "x", Min: 3, Max: 1}); err == nil {
+		t.Error("empty range must be rejected")
+	}
+	tbl.MustDeclare(VarDecl{Name: "x", Min: 0, Max: 1})
+	if _, err := tbl.Declare(VarDecl{Name: "x", Min: 0, Max: 1}); err == nil {
+		t.Error("duplicate name must be rejected")
+	}
+	if _, err := tbl.Declare(VarDecl{Name: "y", Min: 0, Max: 1, Len: 2, Init: []int{1}}); err == nil {
+		t.Error("wrong initializer arity must be rejected")
+	}
+	if _, err := tbl.Declare(VarDecl{Name: "z", Min: 0, Max: 1, Init: []int{7}}); err == nil {
+		t.Error("out-of-range initializer must be rejected")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	tbl := newTestTable(t)
+	c := ctx(tbl)
+	a := MustVar(tbl, "a", nil)
+	cases := []struct {
+		e    Expr
+		want int
+	}{
+		{NewBin(OpAdd, a, Lit(2)), 5},
+		{NewBin(OpSub, a, Lit(5)), -2},
+		{NewBin(OpMul, a, Lit(4)), 12},
+		{NewBin(OpDiv, Lit(7), Lit(2)), 3},
+		{NewBin(OpMod, Lit(7), Lit(2)), 1},
+		{NewBin(OpEq, a, Lit(3)), 1},
+		{NewBin(OpNe, a, Lit(3)), 0},
+		{NewBin(OpLt, a, Lit(4)), 1},
+		{NewBin(OpLe, a, Lit(3)), 1},
+		{NewBin(OpGt, a, Lit(3)), 0},
+		{NewBin(OpGe, a, Lit(3)), 1},
+		{NewBin(OpAnd, True, False), 0},
+		{NewBin(OpOr, False, True), 1},
+		{&Not{True}, 0},
+		{&Not{False}, 1},
+	}
+	for _, tc := range cases {
+		got, err := tc.e.Eval(c)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.e, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s = %d, want %d", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestDivModByZero(t *testing.T) {
+	c := ctx(newTestTable(t))
+	if _, err := NewBin(OpDiv, Lit(1), Lit(0)).Eval(c); err == nil {
+		t.Error("division by zero must error")
+	}
+	if _, err := NewBin(OpMod, Lit(1), Lit(0)).Eval(c); err == nil {
+		t.Error("modulo by zero must error")
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	c := ctx(newTestTable(t))
+	// The right side would error (div by zero) but must not be evaluated.
+	bad := NewBin(OpDiv, Lit(1), Lit(0))
+	if v, err := NewBin(OpAnd, False, bad).Eval(c); err != nil || v != 0 {
+		t.Errorf("short-circuit and: v=%d err=%v", v, err)
+	}
+	if v, err := NewBin(OpOr, True, bad).Eval(c); err != nil || v != 1 {
+		t.Errorf("short-circuit or: v=%d err=%v", v, err)
+	}
+}
+
+func TestArrayIndexing(t *testing.T) {
+	tbl := newTestTable(t)
+	c := ctx(tbl)
+	for i, want := range []int{1, 0, 1, 0} {
+		v := MustVar(tbl, "arr", Lit(i))
+		got, err := v.Eval(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("arr[%d] = %d, want %d", i, got, want)
+		}
+	}
+	oob := MustVar(tbl, "arr", Lit(4))
+	if _, err := oob.Eval(c); err == nil {
+		t.Error("out-of-range index must error")
+	}
+}
+
+func TestVarShapeChecks(t *testing.T) {
+	tbl := newTestTable(t)
+	if _, err := NewVar(tbl, "nosuch", nil); err == nil {
+		t.Error("unknown variable must be rejected")
+	}
+	if _, err := NewVar(tbl, "arr", nil); err == nil {
+		t.Error("array without index must be rejected")
+	}
+	if _, err := NewVar(tbl, "a", Lit(0)); err == nil {
+		t.Error("scalar with index must be rejected")
+	}
+}
+
+func TestAssignments(t *testing.T) {
+	tbl := newTestTable(t)
+	c := ctx(tbl)
+	a := MustVar(tbl, "a", nil)
+	b := MustVar(tbl, "b", nil)
+	err := ApplyAll(c, []Assign{
+		{Target: a, Value: Lit(7)},
+		{Target: b, Value: NewBin(OpSub, a, Lit(9))}, // sees the new a
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := a.Eval(c); got != 7 {
+		t.Errorf("a = %d, want 7", got)
+	}
+	if got, _ := b.Eval(c); got != -2 {
+		t.Errorf("b = %d, want -2", got)
+	}
+	// Range enforcement.
+	if err := (Assign{Target: a, Value: Lit(11)}).Apply(c); err == nil {
+		t.Error("out-of-range assignment must error")
+	}
+	// Array element assignment.
+	e2 := MustVar(tbl, "arr", Lit(2))
+	if err := (Assign{Target: e2, Value: Lit(0)}).Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := e2.Eval(c); got != 0 {
+		t.Errorf("arr[2] = %d, want 0", got)
+	}
+}
+
+func TestQuantifiers(t *testing.T) {
+	tbl := newTestTable(t)
+	c := ctx(tbl)
+	elem := MustVar(tbl, "arr", Bound("i"))
+	all1 := &Quant{ForAll: true, Name: "i", Lo: 0, Hi: 3, Body: NewBin(OpEq, elem, Lit(1))}
+	some1 := &Quant{ForAll: false, Name: "i", Lo: 0, Hi: 3, Body: NewBin(OpEq, elem, Lit(1))}
+	if v, _ := all1.Eval(c); v != 0 {
+		t.Error("not all arr elements are 1")
+	}
+	if v, _ := some1.Eval(c); v != 1 {
+		t.Error("some arr element is 1")
+	}
+	// Make all 1 and re-check.
+	for i := 0; i < 4; i++ {
+		v := MustVar(tbl, "arr", Lit(i))
+		if err := (Assign{Target: v, Value: Lit(1)}).Apply(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _ := all1.Eval(c); v != 1 {
+		t.Error("all arr elements are now 1")
+	}
+	// Empty range: forall is vacuously true, exists false.
+	empty := &Quant{ForAll: true, Name: "i", Lo: 1, Hi: 0, Body: False}
+	if v, _ := empty.Eval(c); v != 1 {
+		t.Error("forall over empty range must hold")
+	}
+	emptyEx := &Quant{ForAll: false, Name: "i", Lo: 1, Hi: 0, Body: True}
+	if v, _ := emptyEx.Eval(c); v != 0 {
+		t.Error("exists over empty range must fail")
+	}
+}
+
+func TestNestedQuantifierShadowing(t *testing.T) {
+	tbl := newTestTable(t)
+	c := ctx(tbl)
+	// exists i. forall i. (i == i) — inner binding shadows, restored after.
+	inner := &Quant{ForAll: true, Name: "i", Lo: 0, Hi: 2, Body: NewBin(OpEq, Bound("i"), Bound("i"))}
+	outer := &Quant{ForAll: false, Name: "i", Lo: 5, Hi: 5, Body: NewBin(OpAnd, inner, NewBin(OpEq, Bound("i"), Lit(5)))}
+	v, err := outer.Eval(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Error("shadowed binding must be restored after inner quantifier")
+	}
+}
+
+func TestUnboundName(t *testing.T) {
+	c := ctx(newTestTable(t))
+	if _, err := Bound("k").Eval(c); err == nil {
+		t.Error("unbound name must error")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	tbl := newTestTable(t)
+	e := NewBin(OpAnd, NewBin(OpEq, MustVar(tbl, "arr", Lit(1)), Lit(0)), &Not{MustVar(tbl, "a", nil)})
+	s := e.String()
+	for _, frag := range []string{"arr[1]", "==", "&&", "!"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q, missing %q", s, frag)
+		}
+	}
+	q := &Quant{ForAll: true, Name: "i", Lo: 0, Hi: 3, Body: True}
+	if !strings.Contains(q.String(), "forall") {
+		t.Errorf("quantifier String() = %q", q.String())
+	}
+}

@@ -1,0 +1,113 @@
+package game
+
+import (
+	"testing"
+
+	"tigatest/internal/model"
+)
+
+// forcedWin: A (inv x<=2) --out!(x>=1)--> Goal. The controller cannot take
+// the output itself, but the invariant blocks time at x=2 while the output
+// is enabled, so under the paper's maximal-run semantics (Def. 8) the plant
+// is forced to fire, and waiting wins.
+func forcedWin() *model.System {
+	s := model.NewSystem("forcedwin")
+	x := s.AddClock("x")
+	p := s.AddProcess("P")
+	a := p.AddLocation(model.Location{Name: "A", Invariant: []model.ClockConstraint{model.LE(x, 2)}})
+	g := p.AddLocation(model.Location{Name: "Goal"})
+	s.AddEdge(p, model.Edge{
+		Src: a, Dst: g, Dir: model.NoSync, Kind: model.Uncontrollable,
+		Guard: model.Guard{Clocks: []model.ClockConstraint{model.GE(x, 1)}},
+	})
+	return s
+}
+
+func TestForcedOutputWins(t *testing.T) {
+	res := solveStr(t, forcedWin(), "control: A<> P.Goal", Options{})
+	if !res.Winnable {
+		t.Fatal("invariant-forced output must make the game winnable")
+	}
+	// Simulate: the strategy waits; the forced opponent fires; goal.
+	for seed := int64(0); seed < 10; seed++ {
+		sim := newSimulator(t, res.Strategy, seed)
+		if !sim.run(64) {
+			t.Fatalf("forced-win strategy lost (seed %d):\n%s", seed, sim.trace.String())
+		}
+	}
+}
+
+func TestForcedOutputAmbiguousLoses(t *testing.T) {
+	// Same, but a second enabled output leads to a trap: the opponent
+	// chooses which forced move to make, so forcing cannot be relied on.
+	s := forcedWin()
+	p := s.Procs[0]
+	x := 1
+	tr := p.AddLocation(model.Location{Name: "Trap"})
+	s.AddEdge(p, model.Edge{
+		Src: 0, Dst: tr, Dir: model.NoSync, Kind: model.Uncontrollable,
+		Guard: model.Guard{Clocks: []model.ClockConstraint{model.GE(x, 1)}},
+	})
+	res := solveStr(t, s, "control: A<> P.Goal", Options{})
+	if res.Winnable {
+		t.Fatal("with an escaping output enabled at the boundary, forcing must not win")
+	}
+}
+
+func TestForcedOutputTrapWindowDisjoint(t *testing.T) {
+	// The trap output's window closes before the boundary: at x=2 only the
+	// good output is enabled, so forcing wins again — but reaching x=2
+	// safely requires surviving the trap window [0,1]... the opponent MAY
+	// fire the trap there, so the game is lost from x=0.
+	s := forcedWin()
+	p := s.Procs[0]
+	x := 1
+	tr := p.AddLocation(model.Location{Name: "Trap"})
+	s.AddEdge(p, model.Edge{
+		Src: 0, Dst: tr, Dir: model.NoSync, Kind: model.Uncontrollable,
+		Guard: model.Guard{Clocks: []model.ClockConstraint{model.LE(x, 1)}},
+	})
+	res := solveStr(t, s, "control: A<> P.Goal", Options{})
+	if res.Winnable {
+		t.Fatal("the trap window [0,1] makes x=0 losing")
+	}
+	// But the region x in (1,2] must be winning in the initial node.
+	win := res.Win[0]
+	if !win.ContainsPoint([]int64{tick + 1}, tick) {
+		t.Errorf("x just above 1 must be winning (trap closed, forcing ahead): win=%v", win)
+	}
+	if win.ContainsPoint([]int64{tick / 2}, tick) {
+		t.Errorf("x=0.5 must be losing (trap open): win=%v", win)
+	}
+}
+
+func TestForcedChainThroughUrgent(t *testing.T) {
+	// Urgent location: time frozen; the only enabled move is the plant's
+	// output to Goal — forced immediately.
+	s := model.NewSystem("urgentforce")
+	s.AddClock("x")
+	p := s.AddProcess("P")
+	a := p.AddLocation(model.Location{Name: "A", Urgent: true})
+	g := p.AddLocation(model.Location{Name: "Goal"})
+	s.AddEdge(p, model.Edge{Src: a, Dst: g, Dir: model.NoSync, Kind: model.Uncontrollable})
+	res := solveStr(t, s, "control: A<> P.Goal", Options{})
+	if !res.Winnable {
+		t.Fatal("urgent location with a single output must force the win")
+	}
+}
+
+func TestForcedMoveAtReportsShortWait(t *testing.T) {
+	res := solveStr(t, forcedWin(), "control: A<> P.Goal", Options{})
+	st := res.Strategy
+	// At the boundary x=2 the strategy waits (briefly) for the forced output.
+	mv, err := st.MoveAt(st.InitialNode(), []int64{2 * tick}, tick, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv.Kind != MoveWait {
+		t.Fatalf("at the forced boundary expected wait, got %v", mv)
+	}
+	if mv.WaitTicks > tick {
+		t.Fatalf("forced wait must be short, got %d ticks", mv.WaitTicks)
+	}
+}

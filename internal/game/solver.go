@@ -1,0 +1,513 @@
+// Package game solves timed games over TIOGA networks and synthesizes
+// winning strategies, reimplementing the core of UPPAAL-TIGA as used by the
+// paper: the symbolic on-the-fly timed-game algorithm (SOTFTR) of Cassez,
+// David, Fleury, Larsen and Lime (CONCUR 2005), plus a classic full
+// backward fixpoint in the style of Maler-Pnueli-Sifakis as a baseline.
+//
+// Reachability objectives (`control: A<> φ`) compute, per symbolic state
+// with zone Z, the growing winning sub-federation
+//
+//	Win = (φ∩Z) ∪ Z ∩ PredT(Good, Bad∖φ)
+//	Good = (φ∩Z) ∪ Win ∪ ⋃ pred_e(Win[succ])      e controllable
+//	Bad  =            ⋃ pred_e(Z[succ]∖Win[succ]) e uncontrollable
+//
+// where PredT is the timed predecessor operator (see dbm.PredT) and pred_e
+// the discrete predecessor through an edge. Ties between the players are
+// resolved in favour of the opponent (the trajectory must avoid Bad up to
+// and including the moment the controller acts), which makes synthesized
+// strategies sound for black-box testing.
+//
+// Safety objectives (`control: A[] φ`) are solved through the dual game:
+// the opponent's forced reachability of ¬φ is computed with the same
+// operator and the winning set is its complement.
+package game
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"tigatest/internal/dbm"
+	"tigatest/internal/model"
+	"tigatest/internal/symbolic"
+	"tigatest/internal/tctl"
+)
+
+// Algorithm selects the solver.
+type Algorithm int
+
+const (
+	// OnTheFly interleaves forward exploration with backward propagation and
+	// supports early termination (the paper's UPPAAL-TIGA algorithm).
+	OnTheFly Algorithm = iota
+	// Backward builds the full zone graph first, then iterates the winning
+	// fixpoint to convergence (the classical baseline).
+	Backward
+)
+
+func (a Algorithm) String() string {
+	if a == OnTheFly {
+		return "on-the-fly"
+	}
+	return "backward"
+}
+
+// Options configure a solve run.
+type Options struct {
+	Algorithm Algorithm
+	// EarlyTermination stops as soon as the initial state is known winning.
+	EarlyTermination bool
+	// MaxNodes bounds forward exploration (0 = unlimited).
+	MaxNodes int
+	// MemBudget aborts with ErrBudget when the heap exceeds this many bytes
+	// (0 = unlimited); used to reproduce the paper's "/" out-of-memory cells.
+	MemBudget uint64
+	// TimeBudget aborts with ErrBudget when solving exceeds this duration.
+	TimeBudget time.Duration
+	// TreatAllControllable solves the cooperative game (paper future work 4):
+	// the plant is assumed to help, so outputs become controllable.
+	TreatAllControllable bool
+	// DisableExtrapolation turns off max-constant extrapolation (ablation;
+	// termination is then only guaranteed for bounded models).
+	DisableExtrapolation bool
+}
+
+// ErrBudget reports that the memory or time budget was exhausted, the
+// analogue of the "/" (out of memory) entries in the paper's Table 1.
+var ErrBudget = errors.New("game: resource budget exhausted")
+
+// Stats summarizes solver effort.
+type Stats struct {
+	Nodes         int           // symbolic states explored
+	Transitions   int           // graph edges
+	Reevals       int           // backward update steps
+	Updates       int           // updates that grew a winning set
+	PeakHeapBytes uint64        // sampled heap high-water mark
+	Duration      time.Duration // wall-clock solve time
+}
+
+// Result of a solve run.
+type Result struct {
+	Winnable bool
+	Formula  *tctl.Formula
+	Strategy *Strategy // non-nil for winnable reachability (and cooperative) games
+	// Win maps node ids to winning sub-federations (reachability); for
+	// safety objectives it holds the LOSING sets of the dual game instead.
+	Win   map[int]*dbm.Federation
+	Stats Stats
+
+	debugNodes []*node
+}
+
+// node is one symbolic state of the game graph.
+type node struct {
+	id       int
+	st       *symbolic.State
+	zoneFed  *dbm.Federation // Z as a federation (cached)
+	goal     *dbm.Federation // φ ∩ Z (reach) or ¬φ ∩ Z (safety dual)
+	succs    []succRef
+	preds    []int
+	win      *dbm.Federation // winning (reach) / losing (safety dual) subset
+	deltas   []winDelta
+	explored bool
+	full     bool // win covers the whole zone; no further growth possible
+}
+
+type succRef struct {
+	trans  symbolic.Transition
+	target int
+}
+
+type winDelta struct {
+	fed   *dbm.Federation
+	stamp int
+}
+
+// solver carries the shared state of one run.
+type solver struct {
+	sys     *model.System
+	formula *tctl.Formula
+	opts    Options
+	ex      *symbolic.Explorer
+
+	nodes  []*node
+	index  map[string]int // full symbolic key -> node id
+	stamp  int
+	stats  Stats
+	t0     time.Time
+	safety bool // solving the safety dual (win federations hold LOSING sets)
+
+	exploreQ []int
+	reevalQ  []int
+	inReeval []bool
+}
+
+// Solve checks the test purpose on the system and, for winnable
+// reachability objectives, synthesizes a winning strategy.
+func Solve(sys *model.System, formula *tctl.Formula, opts Options) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	s := &solver{
+		sys:     sys,
+		formula: formula,
+		opts:    opts,
+		index:   map[string]int{},
+		t0:      time.Now(),
+		safety:  formula.Objective == tctl.Safety,
+	}
+	s.ex = symbolic.NewExplorer(sys, formula.ClockConstraints())
+	if opts.DisableExtrapolation {
+		s.ex.Max = nil
+	}
+
+	init, err := s.ex.Initial()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.addNode(init); err != nil {
+		return nil, err
+	}
+
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+
+	s.stats.Duration = time.Since(s.t0)
+	s.sampleHeap()
+
+	res := &Result{Formula: formula, Stats: s.stats, Win: map[int]*dbm.Federation{}}
+	for _, n := range s.nodes {
+		res.Win[n.id] = n.win
+	}
+	initPoint := make([]int64, sys.NumClocks()-1)
+	initWinning := s.nodes[0].win.ContainsPoint(initPoint, 1)
+	if s.safety {
+		// win holds the opponent's forced-reach (losing) sets.
+		res.Winnable = !initWinning
+		if res.Winnable {
+			res.Strategy = s.buildSafetyStrategy()
+		}
+		res.debugNodes = s.nodes
+		return res, nil
+	}
+	res.Winnable = initWinning
+	if res.Winnable {
+		res.Strategy = s.buildStrategy()
+	}
+	res.debugNodes = s.nodes
+	return res, nil
+}
+
+// DebugNodeLabel renders a node for diagnostics (id, locations, zone).
+func (r *Result) DebugNodeLabel(sys *model.System, id int) string {
+	if id < 0 || id >= len(r.debugNodes) {
+		return fmt.Sprintf("node %d", id)
+	}
+	n := r.debugNodes[id]
+	return fmt.Sprintf("node %d %s vars=%v zone=%s", id, sys.LocationString(n.st.Locs), n.st.Vars, n.st.Zone)
+}
+
+// addNode registers a symbolic state, returning its node id.
+func (s *solver) addNode(st *symbolic.State) (int, error) {
+	key := st.Key()
+	if id, ok := s.index[key]; ok {
+		return id, nil
+	}
+	if s.opts.MaxNodes > 0 && len(s.nodes) >= s.opts.MaxNodes {
+		return 0, fmt.Errorf("%w: more than %d symbolic states", ErrBudget, s.opts.MaxNodes)
+	}
+	goal, err := s.nodeGoal(st)
+	if err != nil {
+		return 0, err
+	}
+	n := &node{
+		id:      len(s.nodes),
+		st:      st,
+		zoneFed: dbm.FedFromDBM(st.Zone.Dim(), st.Zone.Clone()),
+		goal:    goal,
+		win:     dbm.NewFederation(st.Zone.Dim()),
+	}
+	s.nodes = append(s.nodes, n)
+	s.index[key] = n.id
+	s.inReeval = append(s.inReeval, false)
+	s.exploreQ = append(s.exploreQ, n.id)
+	s.stats.Nodes++
+	return n.id, nil
+}
+
+// nodeGoal computes the target federation of the node: φ∩Z for
+// reachability, ¬φ∩Z for the safety dual (what the opponent tries to hit).
+func (s *solver) nodeGoal(st *symbolic.State) (*dbm.Federation, error) {
+	fed, err := s.formula.GoalFed(s.sys, st.Locs, st.Vars, st.Zone)
+	if err != nil {
+		return nil, err
+	}
+	if s.safety {
+		return dbm.FedFromDBM(st.Zone.Dim(), st.Zone.Clone()).Subtract(fed), nil
+	}
+	return fed, nil
+}
+
+// run drives the work queues to exhaustion (or early termination/budget).
+func (s *solver) run() error {
+	if s.opts.Algorithm == Backward {
+		// Phase 1: full forward exploration.
+		for len(s.exploreQ) > 0 {
+			if err := s.checkBudget(); err != nil {
+				return err
+			}
+			id := s.exploreQ[len(s.exploreQ)-1]
+			s.exploreQ = s.exploreQ[:len(s.exploreQ)-1]
+			if err := s.explore(id); err != nil {
+				return err
+			}
+		}
+		// Phase 2: round-robin fixpoint.
+		for changed := true; changed; {
+			changed = false
+			if err := s.checkBudget(); err != nil {
+				return err
+			}
+			for id := len(s.nodes) - 1; id >= 0; id-- {
+				grew, err := s.reeval(id)
+				if err != nil {
+					return err
+				}
+				changed = changed || grew
+			}
+		}
+		return nil
+	}
+
+	// On-the-fly: alternate propagation and exploration, preferring
+	// propagation so information flows back early.
+	for len(s.exploreQ) > 0 || len(s.reevalQ) > 0 {
+		if err := s.checkBudget(); err != nil {
+			return err
+		}
+		if len(s.reevalQ) > 0 {
+			id := s.reevalQ[0]
+			s.reevalQ = s.reevalQ[1:]
+			s.inReeval[id] = false
+			if _, err := s.reeval(id); err != nil {
+				return err
+			}
+		} else {
+			id := s.exploreQ[len(s.exploreQ)-1]
+			s.exploreQ = s.exploreQ[:len(s.exploreQ)-1]
+			if err := s.explore(id); err != nil {
+				return err
+			}
+		}
+		if s.opts.EarlyTermination && s.initialDecided() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// initialDecided reports whether the initial point is already known
+// winning (reach) or losing (safety dual).
+func (s *solver) initialDecided() bool {
+	initPoint := make([]int64, s.sys.NumClocks()-1)
+	return s.nodes[0].win.ContainsPoint(initPoint, 1)
+}
+
+// explore computes the successors of a node and schedules it for
+// re-evaluation.
+func (s *solver) explore(id int) error {
+	n := s.nodes[id]
+	if n.explored {
+		return nil
+	}
+	n.explored = true
+	succs, err := s.ex.Successors(n.st)
+	if err != nil {
+		return err
+	}
+	for _, sc := range succs {
+		tid, err := s.addNode(sc.State)
+		if err != nil {
+			return err
+		}
+		n.succs = append(n.succs, succRef{trans: sc.Trans, target: tid})
+		t := s.nodes[tid]
+		t.preds = appendUnique(t.preds, id)
+		s.stats.Transitions++
+	}
+	s.scheduleReeval(id)
+	return nil
+}
+
+func appendUnique(xs []int, v int) []int {
+	for _, x := range xs {
+		if x == v {
+			return xs
+		}
+	}
+	return append(xs, v)
+}
+
+func (s *solver) scheduleReeval(id int) {
+	if !s.inReeval[id] {
+		s.inReeval[id] = true
+		s.reevalQ = append(s.reevalQ, id)
+	}
+}
+
+// controllableInGame reports how the transition is treated by the current
+// game (cooperative solving promotes everything to controllable; in the
+// safety dual the roles of the players are swapped).
+func (s *solver) controllableInGame(t *symbolic.Transition) bool {
+	ctrl := t.Kind == model.Controllable || s.opts.TreatAllControllable
+	if s.safety {
+		return !ctrl
+	}
+	return ctrl
+}
+
+// reeval recomputes the winning sub-federation of one node; reports whether
+// it grew.
+func (s *solver) reeval(id int) (bool, error) {
+	n := s.nodes[id]
+	if !n.explored {
+		// Will be (re)evaluated after exploration.
+		return false, nil
+	}
+	if n.full {
+		return false, nil // already maximal
+	}
+	s.stats.Reevals++
+
+	dim := s.sys.NumClocks()
+	good := n.goal.Clone()
+	good.Union(n.win)
+	bad := dbm.NewFederation(dim)
+
+	for i := range n.succs {
+		sc := &n.succs[i]
+		t := s.nodes[sc.target]
+		if s.controllableInGame(&sc.trans) {
+			if !t.win.IsEmpty() {
+				good.Union(s.ex.PredThroughEdge(n.st, &sc.trans, t.win))
+			}
+		} else {
+			loseFed := t.zoneFed.Subtract(t.win)
+			if !loseFed.IsEmpty() {
+				bad.Union(s.ex.PredThroughEdge(n.st, &sc.trans, loseFed))
+			}
+		}
+	}
+
+	// Forced moves (the paper's maximal-run semantics, Def. 8): where time
+	// is blocked by invariants, the opponent cannot stall — some enabled
+	// move must happen. Boundary points where every enabled opponent move
+	// leads into the winning set are therefore good.
+	if forced := s.forcedGood(n); forced != nil {
+		good.Union(forced)
+	}
+
+	// Goal states are absorbing: reaching φ wins immediately, so the
+	// trajectory only needs to avoid Bad∖φ, and φ∩Z is winning outright.
+	badEff := bad.Subtract(n.goal)
+	w := dbm.PredT(good, badEff)
+	w = w.Intersect(n.zoneFed)
+	w.Union(n.goal)
+
+	delta := w.Subtract(n.win)
+	if delta.IsEmpty() {
+		return false, nil
+	}
+	s.stamp++
+	s.stats.Updates++
+	n.deltas = append(n.deltas, winDelta{fed: delta, stamp: s.stamp})
+	n.win.Union(delta)
+	if n.zoneFed.Subtract(n.win).IsEmpty() {
+		n.full = true
+	}
+	for _, p := range n.preds {
+		s.scheduleReeval(p)
+	}
+	// Self-loops need the node itself rescheduled too.
+	for _, sc := range n.succs {
+		if sc.target == id {
+			s.scheduleReeval(id)
+			break
+		}
+	}
+	return true, nil
+}
+
+// forcedGood computes the forced-move contribution of a node: the
+// time-blocked boundary points at which at least one opponent edge is
+// enabled and every enabled opponent edge lands in the target's winning
+// set. The dual (safety) solve skips forcing — a conservative
+// approximation documented in the package comment.
+func (s *solver) forcedGood(n *node) *dbm.Federation {
+	if s.safety {
+		return nil
+	}
+	dim := s.sys.NumClocks()
+	var boundary *dbm.Federation
+	if s.sys.IsUrgent(n.st.Locs) {
+		// Urgent/committed locations block time everywhere.
+		boundary = n.zoneFed.Clone()
+	} else {
+		interior := n.st.Zone.DelayableInterior()
+		boundary = dbm.SubtractDBM(n.st.Zone, interior)
+	}
+	if boundary.IsEmpty() {
+		return nil
+	}
+	someWin := dbm.NewFederation(dim)
+	someEscape := dbm.NewFederation(dim)
+	for i := range n.succs {
+		sc := &n.succs[i]
+		if s.controllableInGame(&sc.trans) {
+			continue
+		}
+		t := s.nodes[sc.target]
+		enabled := n.st.Zone
+		for _, e := range sc.trans.Edges {
+			enabled = model.ConstrainZone(enabled, e.Guard.Clocks)
+			if enabled == nil {
+				break
+			}
+		}
+		if enabled == nil {
+			continue
+		}
+		enabledFed := dbm.FedFromDBM(dim, enabled)
+		p := s.ex.PredThroughEdge(n.st, &sc.trans, t.win)
+		someWin.Union(p)
+		someEscape.Union(enabledFed.Subtract(p))
+	}
+	if someWin.IsEmpty() {
+		return nil
+	}
+	return boundary.Intersect(someWin).Subtract(someEscape)
+}
+
+// checkBudget samples the heap and enforces budgets.
+func (s *solver) checkBudget() error {
+	if s.opts.TimeBudget > 0 && time.Since(s.t0) > s.opts.TimeBudget {
+		return fmt.Errorf("%w: time budget %v", ErrBudget, s.opts.TimeBudget)
+	}
+	if s.stats.Reevals%64 == 0 {
+		s.sampleHeap()
+		if s.opts.MemBudget > 0 && s.stats.PeakHeapBytes > s.opts.MemBudget {
+			return fmt.Errorf("%w: memory budget %d bytes", ErrBudget, s.opts.MemBudget)
+		}
+	}
+	return nil
+}
+
+func (s *solver) sampleHeap() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > s.stats.PeakHeapBytes {
+		s.stats.PeakHeapBytes = ms.HeapAlloc
+	}
+}

@@ -1,0 +1,94 @@
+package model
+
+import "tigatest/internal/expr"
+
+// Clone returns a deep copy of the system: processes, locations and edges
+// are copied (so mutants can rewrite them); clocks, channels and the
+// variable table are immutable after construction and are shared.
+// Global edge IDs are preserved, so DetPolicy/mutation references remain
+// valid across the copy.
+func (s *System) Clone() *System {
+	c := &System{
+		Name:       s.Name,
+		Clocks:     append([]Clock(nil), s.Clocks...),
+		Vars:       s.Vars,
+		Channels:   append([]Channel(nil), s.Channels...),
+		nextEdgeID: s.nextEdgeID,
+	}
+	for _, p := range s.Procs {
+		np := &Process{
+			Name:      p.Name,
+			Index:     p.Index,
+			Locations: append([]Location(nil), p.Locations...),
+			Init:      p.Init,
+			Edges:     make([]Edge, len(p.Edges)),
+			outEdges:  make([][]int, len(p.outEdges)),
+		}
+		for i := range p.Locations {
+			np.Locations[i].Invariant = append([]ClockConstraint(nil), p.Locations[i].Invariant...)
+		}
+		for i := range p.Edges {
+			e := p.Edges[i]
+			e.Guard.Clocks = append([]ClockConstraint(nil), e.Guard.Clocks...)
+			e.Resets = append([]ClockReset(nil), e.Resets...)
+			e.Assigns = append([]expr.Assign(nil), e.Assigns...)
+			np.Edges[i] = e
+		}
+		for i := range p.outEdges {
+			np.outEdges[i] = append([]int(nil), p.outEdges[i]...)
+		}
+		c.Procs = append(c.Procs, np)
+	}
+	return c
+}
+
+// ExtractPlant builds a closed implementation network from the plant
+// processes of a specification: deep copies of the plant processes plus a
+// stub environment that is always willing to synchronize — it emits on
+// every controllable channel and receives on every uncontrollable one.
+// Plant edge IDs are preserved; stub edges get fresh IDs.
+func ExtractPlant(spec *System, plantProcs []int, stubName string) *System {
+	c := &System{
+		Name:       spec.Name + "-impl",
+		Clocks:     append([]Clock(nil), spec.Clocks...),
+		Vars:       spec.Vars,
+		Channels:   append([]Channel(nil), spec.Channels...),
+		nextEdgeID: spec.nextEdgeID,
+	}
+	for _, pi := range plantProcs {
+		p := spec.Procs[pi]
+		np := &Process{
+			Name:      p.Name,
+			Index:     len(c.Procs),
+			Locations: append([]Location(nil), p.Locations...),
+			Init:      p.Init,
+			Edges:     make([]Edge, len(p.Edges)),
+			outEdges:  make([][]int, len(p.outEdges)),
+		}
+		for i := range p.Locations {
+			np.Locations[i].Invariant = append([]ClockConstraint(nil), p.Locations[i].Invariant...)
+		}
+		for i := range p.Edges {
+			e := p.Edges[i]
+			e.Proc = np.Index
+			e.Guard.Clocks = append([]ClockConstraint(nil), e.Guard.Clocks...)
+			e.Resets = append([]ClockReset(nil), e.Resets...)
+			e.Assigns = append([]expr.Assign(nil), e.Assigns...)
+			np.Edges[i] = e
+		}
+		for i := range p.outEdges {
+			np.outEdges[i] = append([]int(nil), p.outEdges[i]...)
+		}
+		c.Procs = append(c.Procs, np)
+	}
+	stub := c.AddProcess(stubName)
+	s0 := stub.AddLocation(Location{Name: "S"})
+	for _, ch := range c.Channels {
+		if ch.Kind == Controllable {
+			c.AddEdge(stub, Edge{Src: s0, Dst: s0, Dir: Emit, Chan: ch.Index})
+		} else {
+			c.AddEdge(stub, Edge{Src: s0, Dst: s0, Dir: Receive, Chan: ch.Index})
+		}
+	}
+	return c
+}

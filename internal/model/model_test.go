@@ -1,0 +1,208 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"tigatest/internal/dbm"
+	"tigatest/internal/expr"
+)
+
+// buildPair constructs a two-process system: a plant with one output
+// channel and an environment with one input channel.
+func buildPair(t *testing.T) (*System, *Process, *Process) {
+	t.Helper()
+	s := NewSystem("pair")
+	x := s.AddClock("x")
+	in := s.AddChannel("press", Controllable)
+	out := s.AddChannel("beep", Uncontrollable)
+
+	plant := s.AddProcess("Plant")
+	idle := plant.AddLocation(Location{Name: "Idle"})
+	busy := plant.AddLocation(Location{Name: "Busy", Invariant: []ClockConstraint{LE(x, 5)}})
+	s.AddEdge(plant, Edge{Src: idle, Dst: busy, Dir: Receive, Chan: in, Resets: []ClockReset{{Clock: x}}})
+	s.AddEdge(plant, Edge{Src: busy, Dst: idle, Dir: Emit, Chan: out, Guard: Guard{Clocks: []ClockConstraint{GE(x, 2)}}})
+
+	env := s.AddProcess("Env")
+	e0 := env.AddLocation(Location{Name: "E0"})
+	s.AddEdge(env, Edge{Src: e0, Dst: e0, Dir: Emit, Chan: in})
+	s.AddEdge(env, Edge{Src: e0, Dst: e0, Dir: Receive, Chan: out})
+	return s, plant, env
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	s, plant, env := buildPair(t)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if s.NumClocks() != 2 {
+		t.Errorf("NumClocks = %d, want 2", s.NumClocks())
+	}
+	if len(plant.Locations) != 2 || len(env.Locations) != 1 {
+		t.Error("location counts wrong")
+	}
+	if got := s.NumEdges(); got != 4 {
+		t.Errorf("NumEdges = %d, want 4", got)
+	}
+	locs := s.InitialLocations()
+	if locs[0] != 0 || locs[1] != 0 {
+		t.Errorf("initial locations = %v", locs)
+	}
+}
+
+func TestEdgeKindInheritsChannel(t *testing.T) {
+	s, plant, _ := buildPair(t)
+	if plant.Edges[0].Kind != Controllable {
+		t.Error("receive on controllable channel must be controllable")
+	}
+	if plant.Edges[1].Kind != Uncontrollable {
+		t.Error("emit on uncontrollable channel must be uncontrollable")
+	}
+	_ = s
+}
+
+func TestInternalEdgeKeepsDeclaredKind(t *testing.T) {
+	s := NewSystem("tau")
+	p := s.AddProcess("P")
+	a := p.AddLocation(Location{Name: "A"})
+	b := p.AddLocation(Location{Name: "B"})
+	ei := s.AddEdge(p, Edge{Src: a, Dst: b, Dir: NoSync, Kind: Uncontrollable})
+	if p.Edges[ei].Kind != Uncontrollable {
+		t.Error("internal edge kind must be preserved")
+	}
+	if p.Edges[ei].Chan != -1 {
+		t.Error("internal edge must have channel -1")
+	}
+}
+
+func TestValidateRejectsUnpairedSync(t *testing.T) {
+	s := NewSystem("bad")
+	c := s.AddChannel("lonely", Controllable)
+	p := s.AddProcess("P")
+	a := p.AddLocation(Location{Name: "A"})
+	s.AddEdge(p, Edge{Src: a, Dst: a, Dir: Emit, Chan: c})
+	if err := s.Validate(); err == nil {
+		t.Fatal("unpaired sync edge must be rejected")
+	}
+}
+
+func TestConstraintHelpers(t *testing.T) {
+	s := NewSystem("c")
+	x := s.AddClock("x")
+	y := s.AddClock("y")
+
+	z := dbm.New(s.NumClocks())
+	z = ConstrainZone(z, []ClockConstraint{GE(x, 2), LE(x, 5), LT(y, 3), GT(y, 1)})
+	if z == nil {
+		t.Fatal("constraints are satisfiable")
+	}
+	// Membership at scale 8: x=3, y=2 in; x=1 out.
+	if !z.ContainsPoint([]int64{24, 16}, 8) {
+		t.Error("x=3,y=2 should satisfy")
+	}
+	if z.ContainsPoint([]int64{8, 16}, 8) {
+		t.Error("x=1 violates x>=2")
+	}
+	if z.ContainsPoint([]int64{24, 24}, 8) {
+		t.Error("y=3 violates y<3")
+	}
+	// EQ: exactly x==4.
+	z2 := ConstrainZone(dbm.New(s.NumClocks()), EQ(x, 4))
+	if !z2.ContainsPoint([]int64{32, 0}, 8) || z2.ContainsPoint([]int64{33, 0}, 8) {
+		t.Error("EQ constraint wrong")
+	}
+	// Renderings.
+	if got := GE(x, 2).String(s); got != "x>=2" {
+		t.Errorf("GE render = %q", got)
+	}
+	if got := DiffLT(x, y, 7).String(s); got != "x-y<7" {
+		t.Errorf("DiffLT render = %q", got)
+	}
+}
+
+func TestInvariantZone(t *testing.T) {
+	s, _, _ := buildPair(t)
+	// (Idle,E0): no invariant — universal.
+	inv := s.InvariantZone([]int{0, 0})
+	if inv == nil || inv.At(1, 0) != dbm.Infinity {
+		t.Error("idle invariant must be unbounded")
+	}
+	// (Busy,E0): x<=5.
+	inv = s.InvariantZone([]int{1, 0})
+	if inv == nil || inv.At(1, 0) != dbm.LE(5) {
+		t.Errorf("busy invariant = %v", inv.At(1, 0))
+	}
+}
+
+func TestMaxConstants(t *testing.T) {
+	s, _, _ := buildPair(t)
+	max := s.MaxConstants(nil)
+	if max[1] != 5 {
+		t.Errorf("max constant for x = %d, want 5 (from invariant)", max[1])
+	}
+	max = s.MaxConstants([]ClockConstraint{GE(1, 20)})
+	if max[1] != 20 {
+		t.Errorf("max constant with extra = %d, want 20", max[1])
+	}
+}
+
+func TestUrgentCommitted(t *testing.T) {
+	s := NewSystem("u")
+	p := s.AddProcess("P")
+	p.AddLocation(Location{Name: "N"})
+	u := p.AddLocation(Location{Name: "U", Urgent: true})
+	c := p.AddLocation(Location{Name: "C", Committed: true})
+	if s.IsUrgent([]int{0}) || s.IsCommitted([]int{0}) {
+		t.Error("normal location is neither urgent nor committed")
+	}
+	if !s.IsUrgent([]int{u}) {
+		t.Error("urgent location must be urgent")
+	}
+	if !s.IsUrgent([]int{c}) || !s.IsCommitted([]int{c}) {
+		t.Error("committed location must be urgent and committed")
+	}
+}
+
+func TestEdgeLabelAndLocationString(t *testing.T) {
+	s, plant, _ := buildPair(t)
+	lbl := s.EdgeLabel(&plant.Edges[1])
+	if !strings.Contains(lbl, "beep!") || !strings.Contains(lbl, "Busy") {
+		t.Errorf("edge label = %q", lbl)
+	}
+	if got := s.LocationString([]int{1, 0}); got != "(Busy,E0)" {
+		t.Errorf("location string = %q", got)
+	}
+}
+
+func TestVarsIntegration(t *testing.T) {
+	s := NewSystem("v")
+	s.Vars.MustDeclare(expr.VarDecl{Name: "n", Min: 0, Max: 3, Len: 1})
+	p := s.AddProcess("P")
+	a := p.AddLocation(Location{Name: "A"})
+	n := expr.MustVar(s.Vars, "n", nil)
+	s.AddEdge(p, Edge{
+		Src: a, Dst: a, Dir: NoSync, Kind: Controllable,
+		Guard:   Guard{Data: expr.NewBin(expr.OpLt, n, expr.Lit(3))},
+		Assigns: []expr.Assign{{Target: n, Value: expr.NewBin(expr.OpAdd, n, expr.Lit(1))}},
+	})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	env := s.Vars.InitialEnv()
+	c := &expr.Ctx{Tbl: s.Vars, Env: env}
+	ok, err := expr.Truth(c, p.Edges[0].Guard.Data)
+	if err != nil || !ok {
+		t.Fatalf("guard should hold initially: %v %v", ok, err)
+	}
+}
+
+func TestEdgeByID(t *testing.T) {
+	s, plant, _ := buildPair(t)
+	e := s.EdgeByID(plant.Edges[1].ID)
+	if e == nil || e.Dir != Emit {
+		t.Fatal("EdgeByID lookup failed")
+	}
+	if s.EdgeByID(999) != nil {
+		t.Fatal("unknown id must return nil")
+	}
+}

@@ -1,0 +1,199 @@
+package models
+
+import (
+	"fmt"
+
+	"tigatest/internal/expr"
+	"tigatest/internal/model"
+	"tigatest/internal/tctl"
+)
+
+// LEP timing constants (model time units).
+const (
+	LEPTimeout    = 4 // the node times out after this long without useful input
+	LEPTimeoutWin = 2 // ...and must announce within this window (uncertainty)
+	LEPFwdMin     = 1 // forwarding takes at least this long
+	LEPFwdWin     = 2 // ...and must happen within this window
+	LEPEnvPace    = 1 // the chaotic environment injects at most one message per unit
+)
+
+// LEPOptions parameterize the Leader Election Protocol instance exactly as
+// the paper's Table 1: n nodes, a message buffer of size n, and addresses
+// drawn from 0..n-1 (the maximum "distance" between any two nodes is n-1).
+type LEPOptions struct {
+	Nodes int // n; the IUT is the node with the highest address n-1
+}
+
+// LEP reconstructs the paper's case study (§4): a simple leader election
+// protocol — a distributed consensus algorithm electing the node with the
+// lowest address, modelled as
+//
+//   - one plant TIOGA for an arbitrary node (the IUT, address n-1) with an
+//     uncontrollable timeout! that fires anywhere in a time window once the
+//     node has waited without receiving useful messages, and an
+//     uncontrollable fwd! that re-publishes better information it learned;
+//   - a chaotic environment TA standing for all the other nodes, injecting
+//     arbitrary addresses at a bounded rate; and
+//   - a bounded message buffer (capacity n) through which all messages
+//     travel, modelled as shared inUse[BufferId]/slotAddr[BufferId] arrays
+//     maintained stack-wise.
+//
+// Message VALUES are owned by the tester side: the test adapter knows both
+// the value it delivers and the specification state, so delivery is split
+// into two input channels — deliverBetter (the value improves on the
+// node's current knowledge, which the environment mirrors in shadowBest)
+// and deliverWorse. The plant's transitions therefore depend only on
+// channel identity, never on environment-owned variables, which keeps the
+// tioco monitor and simulated implementations exact.
+//
+// The authors' UPPAAL model was never published; this reconstruction keeps
+// every observable the paper's test purposes mention: IUT.idle,
+// IUT.forward, IUT.betterInfo and inUse[BufferId].
+func LEP(opt LEPOptions) *model.System {
+	n := opt.Nodes
+	if n < 2 {
+		panic("models: LEP needs at least 2 nodes")
+	}
+	s := model.NewSystem(fmt.Sprintf("lep-%d", n))
+	w := s.AddClock("w") // IUT's wait/forward timer
+	e := s.AddClock("e") // environment pacing timer
+
+	deliverBetter := s.AddChannel("deliverBetter", model.Controllable)
+	deliverWorse := s.AddChannel("deliverWorse", model.Controllable)
+	fwd := s.AddChannel("fwd", model.Uncontrollable)         // IUT -> buffer
+	timeout := s.AddChannel("timeout", model.Uncontrollable) // IUT's announcement
+
+	// Tester-owned data: the buffer and the mirror of the node's knowledge.
+	s.Vars.MustDeclare(expr.VarDecl{Name: "inUse", Min: 0, Max: 1, Len: n})
+	s.Vars.MustDeclare(expr.VarDecl{Name: "slotAddr", Min: 0, Max: n - 1, Len: n})
+	s.Vars.MustDeclare(expr.VarDecl{Name: "count", Min: 0, Max: n, Len: 1})
+	s.Vars.MustDeclare(expr.VarDecl{Name: "shadowBest", Min: 0, Max: n - 1, Init: []int{n - 1}, Len: 1})
+	// Plant-owned data: the paper's TP1 observable.
+	s.Vars.MustDeclare(expr.VarDecl{Name: "IUT.betterInfo", Min: 0, Max: 1, Len: 1})
+
+	vInUse := func(i expr.Expr) *expr.Var { return expr.MustVar(s.Vars, "inUse", i) }
+	vSlot := func(i expr.Expr) *expr.Var { return expr.MustVar(s.Vars, "slotAddr", i) }
+	vCount := expr.MustVar(s.Vars, "count", nil)
+	vShadow := expr.MustVar(s.Vars, "shadowBest", nil)
+	vBetter := expr.MustVar(s.Vars, "IUT.betterInfo", nil)
+	lit := func(k int) expr.Expr { return expr.Lit(k) }
+	bin := expr.NewBin
+
+	countMinus1 := bin(expr.OpSub, vCount, lit(1))
+	top := vSlot(countMinus1)
+
+	// --- the IUT node (plant TIOGA) ---
+	// No plant edge reads tester-owned variables: the split delivery
+	// channels carry the classification.
+	iut := s.AddProcess("IUT")
+	idle := iut.AddLocation(model.Location{Name: "idle",
+		Invariant: []model.ClockConstraint{model.LE(w, LEPTimeout+LEPTimeoutWin)}})
+	forward := iut.AddLocation(model.Location{Name: "forward",
+		Invariant: []model.ClockConstraint{model.LE(w, LEPFwdWin)}})
+
+	// Useful message: adopt it and go forward it.
+	s.AddEdge(iut, model.Edge{Src: idle, Dst: forward, Dir: model.Receive, Chan: deliverBetter,
+		Assigns: []expr.Assign{{Target: vBetter, Value: lit(1)}},
+		Resets:  []model.ClockReset{{Clock: w}},
+	})
+	// Useless message: ignored (the node stays input-enabled).
+	s.AddEdge(iut, model.Edge{Src: idle, Dst: idle, Dir: model.Receive, Chan: deliverWorse,
+		Assigns: []expr.Assign{{Target: vBetter, Value: lit(0)}},
+	})
+	// Deliveries while forwarding are absorbed without effect.
+	s.AddEdge(iut, model.Edge{Src: forward, Dst: forward, Dir: model.Receive, Chan: deliverBetter})
+	s.AddEdge(iut, model.Edge{Src: forward, Dst: forward, Dir: model.Receive, Chan: deliverWorse})
+	// The timeout announcement: anywhere in [LEPTimeout, LEPTimeout+Win];
+	// the invariant forces it eventually (timing uncertainty of outputs).
+	s.AddEdge(iut, model.Edge{Src: idle, Dst: idle, Dir: model.Emit, Chan: timeout,
+		Guard:  model.Guard{Clocks: []model.ClockConstraint{model.GE(w, LEPTimeout)}},
+		Resets: []model.ClockReset{{Clock: w}},
+	})
+	// Forwarding the learned address: anywhere in [LEPFwdMin, LEPFwdWin].
+	s.AddEdge(iut, model.Edge{Src: forward, Dst: idle, Dir: model.Emit, Chan: fwd,
+		Guard:  model.Guard{Clocks: []model.ClockConstraint{model.GE(w, LEPFwdMin)}},
+		Resets: []model.ClockReset{{Clock: w}},
+	})
+
+	// --- the chaotic environment (all other nodes + buffer management) ---
+	env := s.AddProcess("Env")
+	chaos := env.AddLocation(model.Location{Name: "Chaos"})
+
+	// Inject a message with an arbitrary foreign address a in 0..n-2 (the
+	// IUT's own address is n-1); rate-limited by the pacing clock.
+	for a := 0; a < n-1; a++ {
+		s.AddEdge(env, model.Edge{Src: chaos, Dst: chaos, Dir: model.NoSync, Kind: model.Controllable,
+			Guard: model.Guard{
+				Clocks: []model.ClockConstraint{model.GE(e, LEPEnvPace)},
+				Data:   bin(expr.OpLt, vCount, lit(n)),
+			},
+			Assigns: []expr.Assign{
+				{Target: vSlot(vCount), Value: lit(a)},
+				{Target: vInUse(vCount), Value: lit(1)},
+				{Target: vCount, Value: bin(expr.OpAdd, vCount, lit(1))},
+			},
+			Resets: []model.ClockReset{{Clock: e}},
+		})
+	}
+	// Deliver the top of the buffer, classified against the mirror of the
+	// node's knowledge; pops the stack and canonicalizes the freed slot.
+	popAssigns := func(extra ...expr.Assign) []expr.Assign {
+		out := append([]expr.Assign{}, extra...)
+		return append(out,
+			expr.Assign{Target: vCount, Value: countMinus1},
+			expr.Assign{Target: vInUse(vCount), Value: lit(0)},
+			expr.Assign{Target: vSlot(vCount), Value: lit(0)},
+		)
+	}
+	s.AddEdge(env, model.Edge{Src: chaos, Dst: chaos, Dir: model.Emit, Chan: deliverBetter,
+		Guard: model.Guard{Data: bin(expr.OpAnd,
+			bin(expr.OpGt, vCount, lit(0)),
+			bin(expr.OpLt, top, vShadow))},
+		Assigns: popAssigns(expr.Assign{Target: vShadow, Value: top}),
+	})
+	s.AddEdge(env, model.Edge{Src: chaos, Dst: chaos, Dir: model.Emit, Chan: deliverWorse,
+		Guard: model.Guard{Data: bin(expr.OpAnd,
+			bin(expr.OpGt, vCount, lit(0)),
+			bin(expr.OpGe, top, vShadow))},
+		Assigns: popAssigns(),
+	})
+	// Accept the IUT's forward into the buffer (or drop it on overflow);
+	// a conformant node forwards its best knowledge, which the tester
+	// mirrors in shadowBest.
+	s.AddEdge(env, model.Edge{Src: chaos, Dst: chaos, Dir: model.Receive, Chan: fwd,
+		Guard: model.Guard{Data: bin(expr.OpLt, vCount, lit(n))},
+		Assigns: []expr.Assign{
+			{Target: vSlot(vCount), Value: vShadow},
+			{Target: vInUse(vCount), Value: lit(1)},
+			{Target: vCount, Value: bin(expr.OpAdd, vCount, lit(1))},
+		},
+	})
+	s.AddEdge(env, model.Edge{Src: chaos, Dst: chaos, Dir: model.Receive, Chan: fwd,
+		Guard: model.Guard{Data: bin(expr.OpGe, vCount, lit(n))},
+	})
+	// Observe the timeout announcements.
+	s.AddEdge(env, model.Edge{Src: chaos, Dst: chaos, Dir: model.Receive, Chan: timeout})
+
+	return s
+}
+
+// LEPEnv returns the parse environment, with the BufferId range the
+// paper's TP2/TP3 quantify over.
+func LEPEnv(s *model.System, n int) *tctl.ParseEnv {
+	return &tctl.ParseEnv{Sys: s, Ranges: map[string]tctl.Range{
+		"BufferId": {Lo: 0, Hi: n - 1},
+	}}
+}
+
+// The paper's three LEP test purposes (§4).
+const (
+	LEPTP1 = "control: A<> (IUT.betterInfo == 1) and IUT.forward"
+	LEPTP2 = "control: A<> forall (i : BufferId) (inUse[i] == 1)"
+	LEPTP3 = "control: A<> forall (i : BufferId) (inUse[i] == 1) and IUT.idle"
+)
+
+// LEPPlant returns the plant (IUT) process indices.
+func LEPPlant(s *model.System) []int {
+	pi, _ := s.ProcByName("IUT")
+	return []int{pi}
+}

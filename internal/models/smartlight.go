@@ -1,0 +1,123 @@
+// Package models contains the paper's case studies — the Smart Light
+// running example (Fig. 2 and 3) and the parameterized Leader Election
+// Protocol of the evaluation (Table 1) — plus helpers to obtain their test
+// purposes.
+package models
+
+import (
+	"tigatest/internal/model"
+	"tigatest/internal/tctl"
+)
+
+// Smart Light constants from Fig. 2.
+const (
+	Tidle  = 20 // idle threshold: a touch after Tidle is a "wake up"
+	Tsw    = 4  // switch threshold distinguishing quick and slow re-touches
+	Tpulse = 2  // every L-location must resolve within Tpulse time units
+	Treact = 1  // the user's minimal reaction time between touches (Fig. 3)
+)
+
+// SmartLight builds the closed network of the paper's running example: the
+// light plant TIOGA of Fig. 2 composed with the user TA of Fig. 3.
+//
+// The plant has three brightness levels Off, Dim and Bright plus six
+// intermediate locations L1..L6 with invariant Tp<=2 in which the light may
+// produce an output, may switch differently, or may stay quiescent until
+// the invariant forces a resolution — the paper's uncontrollable outputs
+// and timing uncertainty. Reconstructed from the figure's visible guards
+// (x>=Tidle / x<Tidle on wake-up, x>=Tsw / x<Tsw on re-touch) and the
+// running-example prose; the figure itself is an image, so the exact edge
+// set is a documented reconstruction (see DESIGN.md).
+func SmartLight() *model.System {
+	s := model.NewSystem("smartlight")
+	x := s.AddClock("x")   // light timer
+	tp := s.AddClock("Tp") // pulse timer bounding the L-locations
+	z := s.AddClock("z")   // user reaction timer
+
+	touch := s.AddChannel("touch", model.Controllable)
+	off := s.AddChannel("off", model.Uncontrollable)
+	dim := s.AddChannel("dim", model.Uncontrollable)
+	bright := s.AddChannel("bright", model.Uncontrollable)
+
+	// --- the light (plant TIOGA of Fig. 2) ---
+	iut := s.AddProcess("IUT")
+	pulseInv := []model.ClockConstraint{model.LE(tp, Tpulse)}
+	lOff := iut.AddLocation(model.Location{Name: "Off"})
+	lDim := iut.AddLocation(model.Location{Name: "Dim"})
+	lBright := iut.AddLocation(model.Location{Name: "Bright"})
+	l1 := iut.AddLocation(model.Location{Name: "L1", Invariant: pulseInv})
+	l2 := iut.AddLocation(model.Location{Name: "L2", Invariant: pulseInv})
+	l3 := iut.AddLocation(model.Location{Name: "L3", Invariant: pulseInv})
+	l4 := iut.AddLocation(model.Location{Name: "L4", Invariant: pulseInv})
+	l5 := iut.AddLocation(model.Location{Name: "L5", Invariant: pulseInv})
+	l6 := iut.AddLocation(model.Location{Name: "L6", Invariant: pulseInv})
+
+	resetXT := []model.ClockReset{{Clock: x}, {Clock: tp}}
+	resetX := []model.ClockReset{{Clock: x}}
+
+	// Wake-up after a long idle period: outcome uncertain (L5).
+	s.AddEdge(iut, model.Edge{Src: lOff, Dst: l5, Dir: model.Receive, Chan: touch,
+		Guard:  model.Guard{Clocks: []model.ClockConstraint{model.GE(x, Tidle)}},
+		Resets: resetXT})
+	// Touch shortly after use: the light will (eventually) go dim (L1).
+	s.AddEdge(iut, model.Edge{Src: lOff, Dst: l1, Dir: model.Receive, Chan: touch,
+		Guard:  model.Guard{Clocks: []model.ClockConstraint{model.LT(x, Tidle)}},
+		Resets: resetXT})
+	// L1: dim is the only resolution (forced by Tp<=2).
+	s.AddEdge(iut, model.Edge{Src: l1, Dst: lDim, Dir: model.Emit, Chan: dim, Resets: resetX})
+	// L5: bright, dim, or quiescence until the user touches again.
+	s.AddEdge(iut, model.Edge{Src: l5, Dst: lBright, Dir: model.Emit, Chan: bright, Resets: resetX})
+	s.AddEdge(iut, model.Edge{Src: l5, Dst: lDim, Dir: model.Emit, Chan: dim, Resets: resetX})
+	s.AddEdge(iut, model.Edge{Src: l5, Dst: l2, Dir: model.Receive, Chan: touch, Resets: resetXT})
+	// L2: insisting on the wake-up forces brightness.
+	s.AddEdge(iut, model.Edge{Src: l2, Dst: lBright, Dir: model.Emit, Chan: bright, Resets: resetX})
+	// Dim + quick touch: brighten (L3); Dim + slow touch: turn off (L4).
+	s.AddEdge(iut, model.Edge{Src: lDim, Dst: l3, Dir: model.Receive, Chan: touch,
+		Guard:  model.Guard{Clocks: []model.ClockConstraint{model.LT(x, Tsw)}},
+		Resets: resetXT})
+	s.AddEdge(iut, model.Edge{Src: lDim, Dst: l4, Dir: model.Receive, Chan: touch,
+		Guard:  model.Guard{Clocks: []model.ClockConstraint{model.GE(x, Tsw)}},
+		Resets: resetXT})
+	// L3: a quick re-touch from Dim insists on brightness — bright! is the
+	// only resolution, so the invariant Tp<=2 forces it. This is the
+	// forcing chain the winning strategy of Fig. 5 relies on: whatever the
+	// light does, the tester can steer the play into Dim and then force
+	// Bright here.
+	s.AddEdge(iut, model.Edge{Src: l3, Dst: lBright, Dir: model.Emit, Chan: bright, Resets: resetX})
+	// L4 switches off.
+	s.AddEdge(iut, model.Edge{Src: l4, Dst: lOff, Dir: model.Emit, Chan: off, Resets: resetX})
+	// Bright + touch: switch off via L6 (which may also fall back to dim).
+	s.AddEdge(iut, model.Edge{Src: lBright, Dst: l6, Dir: model.Receive, Chan: touch, Resets: resetXT})
+	s.AddEdge(iut, model.Edge{Src: l6, Dst: lOff, Dir: model.Emit, Chan: off, Resets: resetX})
+	s.AddEdge(iut, model.Edge{Src: l6, Dst: lDim, Dir: model.Emit, Chan: dim, Resets: resetX})
+
+	// --- the user (environment TA of Fig. 3) ---
+	user := s.AddProcess("User")
+	uInit := user.AddLocation(model.Location{Name: "Init"})
+	uWork := user.AddLocation(model.Location{Name: "Work"})
+	resetZ := []model.ClockReset{{Clock: z}}
+	s.AddEdge(user, model.Edge{Src: uInit, Dst: uWork, Dir: model.Emit, Chan: touch, Resets: resetZ})
+	s.AddEdge(user, model.Edge{Src: uWork, Dst: uWork, Dir: model.Emit, Chan: touch,
+		Guard:  model.Guard{Clocks: []model.ClockConstraint{model.GE(z, Treact)}},
+		Resets: resetZ})
+	for _, ch := range []int{off, dim, bright} {
+		s.AddEdge(user, model.Edge{Src: uInit, Dst: uInit, Dir: model.Receive, Chan: ch})
+		s.AddEdge(user, model.Edge{Src: uWork, Dst: uWork, Dir: model.Receive, Chan: ch})
+	}
+	return s
+}
+
+// SmartLightEnv returns the parse environment for Smart Light test
+// purposes.
+func SmartLightEnv(s *model.System) *tctl.ParseEnv {
+	return &tctl.ParseEnv{Sys: s, Ranges: map[string]tctl.Range{}}
+}
+
+// SmartLightGoal is the paper's running-example test purpose.
+const SmartLightGoal = "control: A<> IUT.Bright"
+
+// SmartLightPlant returns the indices of the plant processes (the IUT).
+func SmartLightPlant(s *model.System) []int {
+	pi, _ := s.ProcByName("IUT")
+	return []int{pi}
+}

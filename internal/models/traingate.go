@@ -1,0 +1,96 @@
+package models
+
+import (
+	"tigatest/internal/model"
+	"tigatest/internal/tctl"
+)
+
+// Train-Gate timing constants (model time units).
+const (
+	TGApproachMin = 3 // a train announces itself at least this long before entering
+	TGApproachMax = 5 // ...and enters by this deadline
+	TGCrossMin    = 4 // crossing takes at least this long
+	TGCrossMax    = 7 // ...and at most this long
+	TGLowerTime   = 1 // the gate motor needs this long to lower or raise
+)
+
+// TrainGate builds a classic level-crossing controller game, included as a
+// third case study beyond the paper's two: the train is the uncontrollable
+// plant (it announces, enters and leaves on its own schedule within the
+// windows above), the gate motor reacts to controllable lower/raise
+// commands, and the tester plays the controller.
+//
+// Interesting purposes:
+//
+//	control: A[] not Train.Crossing or Gate.Closed — safety: winnable (the
+//	    3-unit approach warning beats the 1-unit motor)
+//	control: A<> Gate.Closed                       — reach: winnable (down!
+//	    is invariant-forced after lower)
+//	control: A<> Train.Crossing and Gate.Closed    — NOT winnable (the train
+//	    may stay away forever) but cooperatively winnable
+func TrainGate() *model.System {
+	s := model.NewSystem("traingate")
+	t := s.AddClock("t") // train timer
+	g := s.AddClock("g") // gate motor timer
+
+	appr := s.AddChannel("appr", model.Uncontrollable)
+	enter := s.AddChannel("enter", model.Uncontrollable)
+	leave := s.AddChannel("leave", model.Uncontrollable)
+	lower := s.AddChannel("lower", model.Controllable)
+	raise := s.AddChannel("raise", model.Controllable)
+
+	// --- the train (plant) ---
+	train := s.AddProcess("Train")
+	safe := train.AddLocation(model.Location{Name: "Safe"})
+	approaching := train.AddLocation(model.Location{Name: "Approaching",
+		Invariant: []model.ClockConstraint{model.LE(t, TGApproachMax)}})
+	crossing := train.AddLocation(model.Location{Name: "Crossing",
+		Invariant: []model.ClockConstraint{model.LE(t, TGCrossMax)}})
+	s.AddEdge(train, model.Edge{Src: safe, Dst: approaching, Dir: model.Emit, Chan: appr,
+		Resets: []model.ClockReset{{Clock: t}}})
+	s.AddEdge(train, model.Edge{Src: approaching, Dst: crossing, Dir: model.Emit, Chan: enter,
+		Guard:  model.Guard{Clocks: []model.ClockConstraint{model.GE(t, TGApproachMin)}},
+		Resets: []model.ClockReset{{Clock: t}}})
+	s.AddEdge(train, model.Edge{Src: crossing, Dst: safe, Dir: model.Emit, Chan: leave,
+		Guard:  model.Guard{Clocks: []model.ClockConstraint{model.GE(t, TGCrossMin)}},
+		Resets: []model.ClockReset{{Clock: t}}})
+
+	// --- the gate (plant hardware reacting to the controller) ---
+	gate := s.AddProcess("Gate")
+	open := gate.AddLocation(model.Location{Name: "Open"})
+	lowering := gate.AddLocation(model.Location{Name: "Lowering",
+		Invariant: []model.ClockConstraint{model.LE(g, TGLowerTime)}})
+	closed := gate.AddLocation(model.Location{Name: "Closed"})
+	raising := gate.AddLocation(model.Location{Name: "Raising",
+		Invariant: []model.ClockConstraint{model.LE(g, TGLowerTime)}})
+	down := s.AddChannel("down", model.Uncontrollable)
+	up := s.AddChannel("up", model.Uncontrollable)
+	s.AddEdge(gate, model.Edge{Src: open, Dst: lowering, Dir: model.Receive, Chan: lower,
+		Resets: []model.ClockReset{{Clock: g}}})
+	s.AddEdge(gate, model.Edge{Src: lowering, Dst: closed, Dir: model.Emit, Chan: down})
+	s.AddEdge(gate, model.Edge{Src: closed, Dst: raising, Dir: model.Receive, Chan: raise,
+		Resets: []model.ClockReset{{Clock: g}}})
+	s.AddEdge(gate, model.Edge{Src: raising, Dst: open, Dir: model.Emit, Chan: up})
+
+	// --- the controller's environment half (tester skeleton) ---
+	ctrl := s.AddProcess("Ctrl")
+	c0 := ctrl.AddLocation(model.Location{Name: "C"})
+	s.AddEdge(ctrl, model.Edge{Src: c0, Dst: c0, Dir: model.Emit, Chan: lower})
+	s.AddEdge(ctrl, model.Edge{Src: c0, Dst: c0, Dir: model.Emit, Chan: raise})
+	for _, ch := range []int{appr, enter, leave, down, up} {
+		s.AddEdge(ctrl, model.Edge{Src: c0, Dst: c0, Dir: model.Receive, Chan: ch})
+	}
+	return s
+}
+
+// TrainGateEnv returns the parse environment for train-gate purposes.
+func TrainGateEnv(s *model.System) *tctl.ParseEnv {
+	return &tctl.ParseEnv{Sys: s, Ranges: map[string]tctl.Range{}}
+}
+
+// TrainGatePlant returns the plant processes (train and gate).
+func TrainGatePlant(s *model.System) []int {
+	ti, _ := s.ProcByName("Train")
+	gi, _ := s.ProcByName("Gate")
+	return []int{ti, gi}
+}

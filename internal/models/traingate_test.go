@@ -1,0 +1,99 @@
+package models
+
+import (
+	"testing"
+
+	"tigatest/internal/game"
+	"tigatest/internal/model"
+	"tigatest/internal/tctl"
+)
+
+func TestTrainGateValidates(t *testing.T) {
+	s := TrainGate()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Procs) != 3 {
+		t.Fatalf("expected Train+Gate+Ctrl, got %d", len(s.Procs))
+	}
+}
+
+func TestTrainGateSafety(t *testing.T) {
+	// The controller can keep the crossing safe: the 3-unit approach
+	// warning exceeds the 1-unit lowering time. The predicate demands the
+	// gate be fully Closed during any crossing (Open, Lowering and Raising
+	// all count as unsafe).
+	s := TrainGate()
+	f := tctl.MustParse(TrainGateEnv(s), "control: A[] not Train.Crossing or Gate.Closed")
+	res, err := game.Solve(s, f, game.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Winnable {
+		t.Fatal("the gate can always close in time; safety must be winnable")
+	}
+}
+
+func TestTrainGateReachGateClosed(t *testing.T) {
+	// Closing the gate is fully under the tester's control: lower, then
+	// the motor's invariant forces down! within one unit.
+	s := TrainGate()
+	f := tctl.MustParse(TrainGateEnv(s), "control: A<> Gate.Closed")
+	res, err := game.Solve(s, f, game.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Winnable {
+		t.Fatal("lower + forced down! must make Gate.Closed reachable")
+	}
+	if res.Strategy == nil {
+		t.Fatal("strategy expected")
+	}
+}
+
+func TestTrainGateCannotForceCrossing(t *testing.T) {
+	// The train is never obliged to approach (Safe has no invariant), so
+	// no crossing-related purpose is adversarially winnable — but a
+	// cooperative train grants it (the paper's future-work item 4).
+	s := TrainGate()
+	f := tctl.MustParse(TrainGateEnv(s), "control: A<> Train.Crossing and Gate.Closed")
+	res, err := game.Solve(s, f, game.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winnable {
+		t.Fatal("the train may stay Safe forever; crossing cannot be forced")
+	}
+	coop, err := game.Solve(s, f, game.Options{TreatAllControllable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !coop.Winnable {
+		t.Fatal("a cooperative train approaches, and the gate can be closed first")
+	}
+}
+
+func TestTrainGateSafetyWithSlowGate(t *testing.T) {
+	// Ablate the timing margin: if lowering takes longer than the maximal
+	// warning, safety is lost. Rebuild with a 6-unit motor.
+	s := TrainGate()
+	gi, _ := s.ProcByName("Gate")
+	for li := range s.Procs[gi].Locations {
+		loc := &s.Procs[gi].Locations[li]
+		if loc.Name == "Lowering" {
+			for i := range loc.Invariant {
+				loc.Invariant[i] = model.LE(loc.Invariant[i].I, 6)
+			}
+		}
+	}
+	// The motor may now take up to 6 units; the train can enter 3 units
+	// after announcing — before the gate is guaranteed down.
+	f := tctl.MustParse(TrainGateEnv(s), "control: A[] not Train.Crossing or Gate.Closed")
+	res, err := game.Solve(s, f, game.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winnable {
+		t.Fatal("a 6-unit motor cannot beat a 3-unit warning; safety must fail")
+	}
+}

@@ -1,0 +1,250 @@
+// Package mutate derives faulty implementations from a specification model
+// for the paper's future-work item 3 — "evaluating strategy-based test
+// effectiveness in terms of fault detecting capability". Each operator
+// clones the model and plants one defect of a classic timed-automata
+// mutation class: shifted timing, swapped outputs, wrong target locations,
+// dropped transitions and widened guards.
+package mutate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tigatest/internal/dbm"
+	"tigatest/internal/model"
+	"tigatest/internal/tiots"
+)
+
+// Mutant is a derived implementation model with a description of the
+// planted fault. Policy, when non-nil, is the output schedule that
+// exhibits the fault: timing mutants widen what the implementation MAY do,
+// so an implementation must actually exploit the widened freedom for the
+// fault to be observable.
+type Mutant struct {
+	Sys         *model.System
+	Operator    string
+	Description string
+	Policy      *tiots.DetPolicy
+}
+
+// edgeRef locates an edge inside a system.
+type edgeRef struct {
+	proc, idx int
+}
+
+func edges(sys *model.System, procs []int, filter func(*model.Edge) bool) []edgeRef {
+	var out []edgeRef
+	for _, pi := range procs {
+		for ei := range sys.Procs[pi].Edges {
+			e := &sys.Procs[pi].Edges[ei]
+			if filter == nil || filter(e) {
+				out = append(out, edgeRef{pi, ei})
+			}
+		}
+	}
+	return out
+}
+
+// ShiftGuard adds delta to every stored constant of the edge's clock guard.
+// Lower bounds are stored negated, so a positive delta moves lower bounds
+// delta units EARLIER and upper bounds delta units LATER — a widened firing
+// window, the classic timing fault (the implementation may act before the
+// window opens or after it closes).
+func ShiftGuard(sys *model.System, procs []int, ref int, delta int) (*Mutant, error) {
+	c := sys.Clone()
+	cands := edges(c, procs, func(e *model.Edge) bool { return len(e.Guard.Clocks) > 0 })
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("mutate: no guarded edges")
+	}
+	r := cands[ref%len(cands)]
+	e := &c.Procs[r.proc].Edges[r.idx]
+	for i := range e.Guard.Clocks {
+		cc := &e.Guard.Clocks[i]
+		cc.Bound = dbm.MakeBound(cc.Bound.Value()+delta, cc.Bound.Strict())
+	}
+	return &Mutant{
+		Sys:         c,
+		Operator:    "widen-window",
+		Description: fmt.Sprintf("guard window of %s widened by %d", c.EdgeLabel(e), delta),
+	}, nil
+}
+
+// SwapOutput redirects an output edge to a different uncontrollable
+// channel (the implementation answers with the wrong action).
+func SwapOutput(sys *model.System, procs []int, ref int) (*Mutant, error) {
+	c := sys.Clone()
+	outs := edges(c, procs, func(e *model.Edge) bool { return e.Dir == model.Emit })
+	if len(outs) == 0 {
+		return nil, fmt.Errorf("mutate: no output edges")
+	}
+	var chans []int
+	for _, ch := range c.Channels {
+		if ch.Kind == model.Uncontrollable {
+			chans = append(chans, ch.Index)
+		}
+	}
+	if len(chans) < 2 {
+		return nil, fmt.Errorf("mutate: fewer than two output channels")
+	}
+	r := outs[ref%len(outs)]
+	e := &c.Procs[r.proc].Edges[r.idx]
+	old := e.Chan
+	for _, ch := range chans {
+		if ch != old {
+			e.Chan = ch
+			break
+		}
+	}
+	return &Mutant{
+		Sys:         c,
+		Operator:    "swap-output",
+		Description: fmt.Sprintf("output of %s changed from %s to %s", c.EdgeLabel(e), c.Channels[old].Name, c.Channels[e.Chan].Name),
+	}, nil
+}
+
+// DropEdge removes a transition (the implementation ignores a stimulus or
+// never produces an output). Dropping is simulated by making the guard
+// unsatisfiable, which keeps edge IDs stable.
+func DropEdge(sys *model.System, procs []int, ref int) (*Mutant, error) {
+	c := sys.Clone()
+	all := edges(c, procs, nil)
+	if len(all) == 0 {
+		return nil, fmt.Errorf("mutate: no edges")
+	}
+	r := all[ref%len(all)]
+	e := &c.Procs[r.proc].Edges[r.idx]
+	e.Guard.Clocks = append(e.Guard.Clocks, model.ClockConstraint{I: 0, J: 0, Bound: dbm.LT(0)})
+	return &Mutant{
+		Sys:         c,
+		Operator:    "drop-edge",
+		Description: fmt.Sprintf("edge %s disabled", c.EdgeLabel(e)),
+	}, nil
+}
+
+// RetargetEdge points an edge at a different location of the same process
+// (a wrong-next-state fault).
+func RetargetEdge(sys *model.System, procs []int, ref int) (*Mutant, error) {
+	c := sys.Clone()
+	all := edges(c, procs, func(e *model.Edge) bool {
+		return len(c.Procs[e.Proc].Locations) > 1
+	})
+	if len(all) == 0 {
+		return nil, fmt.Errorf("mutate: no retargetable edges")
+	}
+	r := all[ref%len(all)]
+	e := &c.Procs[r.proc].Edges[r.idx]
+	old := e.Dst
+	e.Dst = (e.Dst + 1) % len(c.Procs[r.proc].Locations)
+	return &Mutant{
+		Sys:         c,
+		Operator:    "retarget-edge",
+		Description: fmt.Sprintf("edge %s retargeted from %s", c.EdgeLabel(e), c.Procs[r.proc].Locations[old].Name),
+	}, nil
+}
+
+// WidenInvariant loosens a location invariant by delta units (the
+// implementation is allowed to dawdle beyond the specified deadline).
+func WidenInvariant(sys *model.System, procs []int, ref int, delta int) (*Mutant, error) {
+	c := sys.Clone()
+	type locRef struct{ proc, loc int }
+	var cands []locRef
+	for _, pi := range procs {
+		for li := range c.Procs[pi].Locations {
+			if len(c.Procs[pi].Locations[li].Invariant) > 0 {
+				cands = append(cands, locRef{pi, li})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("mutate: no invariants")
+	}
+	r := cands[ref%len(cands)]
+	loc := &c.Procs[r.proc].Locations[r.loc]
+	orig := 0
+	for i := range loc.Invariant {
+		cc := &loc.Invariant[i]
+		if v := cc.Bound.Value(); v > orig {
+			orig = v
+		}
+		cc.Bound = dbm.MakeBound(cc.Bound.Value()+delta, cc.Bound.Strict())
+	}
+	// The lazy implementation dawdles into the widened window: outputs
+	// leaving the mutated location fire just before the NEW deadline,
+	// which is after the specification's deadline.
+	policy := &tiots.DetPolicy{ByEdge: map[int]tiots.OutputDecision{}}
+	for ei := range c.Procs[r.proc].Edges {
+		e := &c.Procs[r.proc].Edges[ei]
+		if e.Src == r.loc && e.Dir == model.Emit {
+			policy.ByEdge[e.ID] = tiots.OutputDecision{
+				Enabled: true,
+				Offset:  int64(orig+delta-1) * tiots.Scale,
+			}
+		}
+	}
+	return &Mutant{
+		Sys:         c,
+		Operator:    "widen-invariant",
+		Description: fmt.Sprintf("invariant of %s.%s widened by %d (lazy outputs)", c.Procs[r.proc].Name, loc.Name, delta),
+		Policy:      policy,
+	}, nil
+}
+
+// All generates one mutant per applicable (operator, site) pair, up to max
+// per operator (0 = no limit).
+func All(sys *model.System, procs []int, maxPerOp int) []*Mutant {
+	var out []*Mutant
+	add := func(m *Mutant, err error) {
+		if err == nil && m != nil {
+			out = append(out, m)
+		}
+	}
+	countG := len(edges(sys, procs, func(e *model.Edge) bool { return len(e.Guard.Clocks) > 0 }))
+	countO := len(edges(sys, procs, func(e *model.Edge) bool { return e.Dir == model.Emit }))
+	countA := len(edges(sys, procs, nil))
+	countI := 0
+	for _, pi := range procs {
+		for li := range sys.Procs[pi].Locations {
+			if len(sys.Procs[pi].Locations[li].Invariant) > 0 {
+				countI++
+			}
+		}
+	}
+	lim := func(n int) int {
+		if maxPerOp > 0 && n > maxPerOp {
+			return maxPerOp
+		}
+		return n
+	}
+	for i := 0; i < lim(countG); i++ {
+		add(ShiftGuard(sys, procs, i, 3))
+	}
+	for i := 0; i < lim(countO); i++ {
+		add(SwapOutput(sys, procs, i))
+	}
+	for i := 0; i < lim(countA); i++ {
+		add(DropEdge(sys, procs, i))
+	}
+	for i := 0; i < lim(countA); i++ {
+		add(RetargetEdge(sys, procs, i))
+	}
+	for i := 0; i < lim(countI); i++ {
+		add(WidenInvariant(sys, procs, i, 2))
+	}
+	return out
+}
+
+// Random picks one random mutant.
+func Random(sys *model.System, procs []int, rng *rand.Rand) (*Mutant, error) {
+	switch rng.Intn(5) {
+	case 0:
+		return ShiftGuard(sys, procs, rng.Intn(1<<16), 1+rng.Intn(4))
+	case 1:
+		return SwapOutput(sys, procs, rng.Intn(1<<16))
+	case 2:
+		return DropEdge(sys, procs, rng.Intn(1<<16))
+	case 3:
+		return RetargetEdge(sys, procs, rng.Intn(1<<16))
+	default:
+		return WidenInvariant(sys, procs, rng.Intn(1<<16), 1+rng.Intn(3))
+	}
+}

@@ -1,0 +1,194 @@
+package mutate
+
+import (
+	"math/rand"
+	"testing"
+
+	"tigatest/internal/dbm"
+	"tigatest/internal/model"
+	"tigatest/internal/models"
+)
+
+func plant(t *testing.T) (*model.System, []int) {
+	t.Helper()
+	s := models.SmartLight()
+	return s, models.SmartLightPlant(s)
+}
+
+func TestWidenWindowChangesGuard(t *testing.T) {
+	s, procs := plant(t)
+	m, err := ShiftGuard(s, procs, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sys == s {
+		t.Fatal("mutant must be a clone")
+	}
+	// Find a guard that differs from the original.
+	changed := false
+	for pi := range s.Procs {
+		for ei := range s.Procs[pi].Edges {
+			a := s.Procs[pi].Edges[ei].Guard.Clocks
+			b := m.Sys.Procs[pi].Edges[ei].Guard.Clocks
+			for i := range a {
+				if a[i].Bound != b[i].Bound {
+					changed = true
+				}
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("mutation must change some guard bound")
+	}
+	// The original must be untouched (clone isolation).
+	orig := models.SmartLight()
+	for pi := range orig.Procs {
+		for ei := range orig.Procs[pi].Edges {
+			a := orig.Procs[pi].Edges[ei].Guard.Clocks
+			b := s.Procs[pi].Edges[ei].Guard.Clocks
+			if len(a) != len(b) {
+				t.Fatal("original model was modified")
+			}
+			for i := range a {
+				if a[i].Bound != b[i].Bound {
+					t.Fatal("original model guard was modified")
+				}
+			}
+		}
+	}
+}
+
+func TestSwapOutputChangesChannel(t *testing.T) {
+	s, procs := plant(t)
+	m, err := SwapOutput(s, procs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for pi := range s.Procs {
+		for ei := range s.Procs[pi].Edges {
+			if s.Procs[pi].Edges[ei].Chan != m.Sys.Procs[pi].Edges[ei].Chan {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("exactly one edge channel must change, got %d", diff)
+	}
+}
+
+func TestDropEdgeDisablesGuard(t *testing.T) {
+	s, procs := plant(t)
+	m, err := DropEdge(s, procs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for pi := range m.Sys.Procs {
+		for ei := range m.Sys.Procs[pi].Edges {
+			for _, c := range m.Sys.Procs[pi].Edges[ei].Guard.Clocks {
+				if c.I == 0 && c.J == 0 && c.Bound == dbm.LT(0) {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("dropped edge must carry an unsatisfiable guard")
+	}
+}
+
+func TestRetargetEdgeChangesDestination(t *testing.T) {
+	s, procs := plant(t)
+	m, err := RetargetEdge(s, procs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for pi := range s.Procs {
+		for ei := range s.Procs[pi].Edges {
+			if s.Procs[pi].Edges[ei].Dst != m.Sys.Procs[pi].Edges[ei].Dst {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("exactly one destination must change, got %d", diff)
+	}
+}
+
+func TestWidenInvariantLoosensBound(t *testing.T) {
+	s, procs := plant(t)
+	m, err := WidenInvariant(s, procs, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loosened := false
+	for pi := range s.Procs {
+		for li := range s.Procs[pi].Locations {
+			a := s.Procs[pi].Locations[li].Invariant
+			b := m.Sys.Procs[pi].Locations[li].Invariant
+			for i := range a {
+				if b[i].Bound.Value() == a[i].Bound.Value()+2 {
+					loosened = true
+				}
+			}
+		}
+	}
+	if !loosened {
+		t.Fatal("invariant must be widened by 2")
+	}
+}
+
+func TestAllProducesDistinctOperators(t *testing.T) {
+	s, procs := plant(t)
+	muts := All(s, procs, 3)
+	ops := map[string]int{}
+	for _, m := range muts {
+		ops[m.Operator]++
+		if m.Description == "" {
+			t.Error("every mutant needs a description")
+		}
+	}
+	for _, op := range []string{"widen-window", "swap-output", "drop-edge", "retarget-edge", "widen-invariant"} {
+		if ops[op] == 0 {
+			t.Errorf("operator %s produced no mutants: %v", op, ops)
+		}
+	}
+}
+
+func TestRandomMutants(t *testing.T) {
+	s, procs := plant(t)
+	rng := rand.New(rand.NewSource(7))
+	seen := map[string]bool{}
+	for i := 0; i < 40; i++ {
+		m, err := Random(s, procs, rng)
+		if err != nil {
+			continue
+		}
+		seen[m.Operator] = true
+		if err := m.Sys.Validate(); err != nil {
+			t.Fatalf("mutant %s must still validate: %v", m.Description, err)
+		}
+	}
+	if len(seen) < 3 {
+		t.Fatalf("random mutation should hit several operators, got %v", seen)
+	}
+}
+
+func TestMutantsOnlyTouchGivenProcs(t *testing.T) {
+	s, procs := plant(t)
+	for i := 0; i < 10; i++ {
+		m, err := RetargetEdge(s, procs, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The user process (index 1) must be identical.
+		userIdx := 1
+		for ei := range s.Procs[userIdx].Edges {
+			if s.Procs[userIdx].Edges[ei].Dst != m.Sys.Procs[userIdx].Edges[ei].Dst {
+				t.Fatal("mutation leaked into the environment process")
+			}
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package symbolic implements the symbolic (zone-graph) semantics of TIOGA
+// networks: states are (location vector, variable vector, zone) triples
+// where the zone is closed under delay within the location invariant, and
+// successors follow the standard zone-automaton construction with
+// max-constant extrapolation.
+package symbolic
+
+import (
+	"fmt"
+	"strings"
+
+	"tigatest/internal/dbm"
+	"tigatest/internal/expr"
+	"tigatest/internal/model"
+)
+
+// State is a symbolic state of the network.
+type State struct {
+	Locs []int
+	Vars []int32
+	Zone *dbm.DBM
+}
+
+// DiscreteKey identifies the discrete part (locations + variables).
+func (s *State) DiscreteKey() string {
+	var sb strings.Builder
+	for _, l := range s.Locs {
+		sb.WriteByte(byte(l))
+		sb.WriteByte(byte(l >> 8))
+	}
+	sb.WriteByte(0xff)
+	for _, v := range s.Vars {
+		sb.WriteByte(byte(v))
+		sb.WriteByte(byte(v >> 8))
+		sb.WriteByte(byte(v >> 16))
+		sb.WriteByte(byte(v >> 24))
+	}
+	return sb.String()
+}
+
+// Key identifies the full symbolic state.
+func (s *State) Key() string { return s.DiscreteKey() + "|" + s.Zone.Key() }
+
+// String renders the state for diagnostics.
+func (s *State) String() string {
+	return fmt.Sprintf("locs=%v vars=%v zone=%s", s.Locs, s.Vars, s.Zone)
+}
+
+// Transition is one discrete step of the network: either a single internal
+// edge or a synchronized emitter/receiver pair.
+type Transition struct {
+	Kind  model.Kind
+	Chan  int // channel index, or -1 for internal moves
+	Edges []*model.Edge
+	Label string
+}
+
+// IsSync reports whether the transition synchronizes on a channel.
+func (t *Transition) IsSync() bool { return t.Chan >= 0 }
+
+// Succ is a successor state reached by a transition.
+type Succ struct {
+	Trans Transition
+	State *State
+}
+
+// Explorer computes initial states and successors for a system.
+type Explorer struct {
+	Sys *model.System
+	// Max holds per-clock extrapolation constants (from the system plus the
+	// test purpose). Nil disables extrapolation (ablation switch; the zone
+	// graph may then be infinite).
+	Max []int
+}
+
+// NewExplorer builds an explorer with extrapolation constants covering the
+// system and the given extra constraints (e.g. the formula's clock atoms).
+func NewExplorer(sys *model.System, extra []model.ClockConstraint) *Explorer {
+	return &Explorer{Sys: sys, Max: sys.MaxConstants(extra)}
+}
+
+// Initial returns the initial symbolic state: all processes in their
+// initial locations, variables at their initial values, zone = the delay
+// closure of the origin.
+func (ex *Explorer) Initial() (*State, error) {
+	sys := ex.Sys
+	locs := sys.InitialLocations()
+	vars := sys.Vars.InitialEnv()
+	z := dbm.Zero(sys.NumClocks())
+	z = sys.ApplyInvariant(z, locs)
+	if z == nil {
+		return nil, fmt.Errorf("symbolic: initial state violates invariant")
+	}
+	z = ex.delayClose(z, locs)
+	if z == nil {
+		return nil, fmt.Errorf("symbolic: initial state has empty zone")
+	}
+	return &State{Locs: locs, Vars: vars, Zone: z}, nil
+}
+
+// delayClose closes the zone under delay within the invariant unless the
+// location vector is urgent, then extrapolates.
+func (ex *Explorer) delayClose(z *dbm.DBM, locs []int) *dbm.DBM {
+	if z == nil {
+		return nil
+	}
+	if !ex.Sys.IsUrgent(locs) {
+		z = ex.Sys.ApplyInvariant(z.Up(), locs)
+		if z == nil {
+			return nil
+		}
+	}
+	if ex.Max != nil {
+		z = z.Extrapolate(ex.Max)
+	}
+	return z
+}
+
+// Successors enumerates all discrete successors of s.
+func (ex *Explorer) Successors(s *State) ([]Succ, error) {
+	sys := ex.Sys
+	var out []Succ
+	committed := sys.IsCommitted(s.Locs)
+
+	// Internal edges.
+	for pi, p := range sys.Procs {
+		for _, ei := range p.OutEdges(s.Locs[pi]) {
+			e := &p.Edges[ei]
+			if e.Dir != model.NoSync {
+				continue
+			}
+			if committed && !p.Locations[e.Src].Committed {
+				continue
+			}
+			succ, err := ex.fire(s, Transition{
+				Kind:  e.Kind,
+				Chan:  -1,
+				Edges: []*model.Edge{e},
+				Label: fmt.Sprintf("tau(%s)", sys.EdgeLabel(e)),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if succ != nil {
+				out = append(out, *succ)
+			}
+		}
+	}
+
+	// Synchronized pairs: emitter in one process, receiver in another.
+	for pi, p := range sys.Procs {
+		for _, ei := range p.OutEdges(s.Locs[pi]) {
+			e := &p.Edges[ei]
+			if e.Dir != model.Emit {
+				continue
+			}
+			for qi, q := range sys.Procs {
+				if qi == pi {
+					continue
+				}
+				for _, fi := range q.OutEdges(s.Locs[qi]) {
+					f := &q.Edges[fi]
+					if f.Dir != model.Receive || f.Chan != e.Chan {
+						continue
+					}
+					if committed && !p.Locations[e.Src].Committed && !q.Locations[f.Src].Committed {
+						continue
+					}
+					succ, err := ex.fire(s, Transition{
+						Kind:  sys.Channels[e.Chan].Kind,
+						Chan:  e.Chan,
+						Edges: []*model.Edge{e, f},
+						Label: sys.Channels[e.Chan].Name,
+					})
+					if err != nil {
+						return nil, err
+					}
+					if succ != nil {
+						out = append(out, *succ)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// fire attempts to take the transition from s; nil result means disabled.
+func (ex *Explorer) fire(s *State, t Transition) (*Succ, error) {
+	sys := ex.Sys
+
+	// Data guards (conjunction over participating edges).
+	ctx := &expr.Ctx{Tbl: sys.Vars, Env: s.Vars}
+	for _, e := range t.Edges {
+		ok, err := expr.Truth(ctx, e.Guard.Data)
+		if err != nil {
+			return nil, fmt.Errorf("symbolic: guard of %s: %w", sys.EdgeLabel(e), err)
+		}
+		if !ok {
+			return nil, nil
+		}
+	}
+
+	// Clock guards.
+	z := s.Zone
+	for _, e := range t.Edges {
+		z = model.ConstrainZone(z, e.Guard.Clocks)
+		if z == nil {
+			return nil, nil
+		}
+	}
+
+	// Discrete update: locations, then assignments (emitter before receiver,
+	// matching UPPAAL's order).
+	locs := append([]int(nil), s.Locs...)
+	for _, e := range t.Edges {
+		locs[e.Proc] = e.Dst
+	}
+	vars := append([]int32(nil), s.Vars...)
+	vctx := &expr.Ctx{Tbl: sys.Vars, Env: vars}
+	for _, e := range t.Edges {
+		if err := expr.ApplyAll(vctx, e.Assigns); err != nil {
+			return nil, fmt.Errorf("symbolic: update of %s: %w", sys.EdgeLabel(e), err)
+		}
+	}
+
+	// Clock resets.
+	for _, e := range t.Edges {
+		for _, r := range e.Resets {
+			z = z.Reset(r.Clock, r.Value)
+		}
+	}
+
+	// Target invariant, then delay closure.
+	z = sys.ApplyInvariant(z, locs)
+	if z == nil {
+		return nil, nil
+	}
+	z = ex.delayClose(z, locs)
+	if z == nil {
+		return nil, nil
+	}
+	return &Succ{Trans: t, State: &State{Locs: locs, Vars: vars, Zone: z}}, nil
+}
+
+// PredThroughEdge computes the discrete predecessor through transition t
+// restricted to the source state: the sub-federation of src.Zone from which
+// firing t lands inside target (target must be a subset of the successor's
+// zone). Used by the game fixpoint:
+//
+//	pred_t(W) = srcZone ∧ guards ∧ unreset(W ∧ {x = v : x := v reset})
+func (ex *Explorer) PredThroughEdge(src *State, t *Transition, target *dbm.Federation) *dbm.Federation {
+	dim := ex.Sys.NumClocks()
+	out := dbm.NewFederation(dim)
+	if target.IsEmpty() {
+		return out
+	}
+
+	// Guard zone within the source.
+	gz := src.Zone
+	for _, e := range t.Edges {
+		gz = model.ConstrainZone(gz, e.Guard.Clocks)
+		if gz == nil {
+			return out
+		}
+	}
+
+	// Collect resets (later resets shadow earlier ones for the same clock,
+	// consistent with fire()).
+	resets := map[int]int{}
+	for _, e := range t.Edges {
+		for _, r := range e.Resets {
+			resets[r.Clock] = r.Value
+		}
+	}
+
+	for _, w := range target.Zones() {
+		wz := w
+		// Constrain target to the reset values, then free those clocks to
+		// recover the pre-reset valuations.
+		ok := true
+		for c, v := range resets {
+			wz = wz.Constrain(c, 0, dbm.LE(v))
+			if wz == nil {
+				ok = false
+				break
+			}
+			wz = wz.Constrain(0, c, dbm.LE(-v))
+			if wz == nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for c := range resets {
+			wz = wz.Free(c)
+		}
+		out.Add(wz.Intersect(gz))
+	}
+	return out
+}

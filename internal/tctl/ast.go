@@ -1,0 +1,256 @@
+// Package tctl implements the annotated TCTL subset the paper uses for test
+// purposes: `control: A<> φ` (the tester can force φ) and `control: A[] φ`
+// (the tester can maintain φ), where φ is a boolean state predicate over
+// process locations, bounded integer variables and clock constraints,
+// including UPPAAL-style bounded quantifiers such as
+//
+//	control: A<> forall (i : BufferId) (inUse[i] == 1) and IUT.idle
+package tctl
+
+import (
+	"fmt"
+
+	"tigatest/internal/dbm"
+	"tigatest/internal/expr"
+	"tigatest/internal/model"
+)
+
+// Objective is the control objective kind.
+type Objective int
+
+const (
+	// Reach is `control: A<> φ`: force the play into a φ-state.
+	Reach Objective = iota
+	// Safety is `control: A[] φ`: keep the play inside φ-states forever.
+	Safety
+)
+
+func (o Objective) String() string {
+	if o == Reach {
+		return "A<>"
+	}
+	return "A[]"
+}
+
+// Formula is a parsed test purpose.
+type Formula struct {
+	Objective Objective
+	Prop      Prop
+	Source    string // original text, if parsed
+}
+
+func (f *Formula) String() string {
+	if f.Source != "" {
+		return f.Source
+	}
+	return fmt.Sprintf("control: %s %s", f.Objective, f.Prop)
+}
+
+// Prop is a state predicate. Evaluation is split in two: the discrete part
+// decides per (locations, variables) and the symbolic part restricts a zone
+// to the satisfying valuations (clock atoms cut zones; boolean structure
+// maps to federation operations).
+type Prop interface {
+	fmt.Stringer
+	// fed returns the sub-federation of zone z satisfying the predicate at
+	// the given discrete state. ctx carries quantifier bindings.
+	fed(ev *evalCtx, z *dbm.DBM) (*dbm.Federation, error)
+}
+
+type evalCtx struct {
+	sys  *model.System
+	locs []int
+	ectx *expr.Ctx
+}
+
+// PLoc asserts that a process is in a location.
+type PLoc struct {
+	Proc, Loc int
+	name      string
+}
+
+func (p *PLoc) String() string { return p.name }
+
+func (p *PLoc) fed(ev *evalCtx, z *dbm.DBM) (*dbm.Federation, error) {
+	f := dbm.NewFederation(z.Dim())
+	if ev.locs[p.Proc] == p.Loc {
+		f.Add(z.Clone())
+	}
+	return f, nil
+}
+
+// PData wraps a boolean data expression (which may reference quantifier
+// bindings).
+type PData struct{ E expr.Expr }
+
+func (p *PData) String() string { return p.E.String() }
+
+func (p *PData) fed(ev *evalCtx, z *dbm.DBM) (*dbm.Federation, error) {
+	f := dbm.NewFederation(z.Dim())
+	ok, err := expr.Truth(ev.ectx, p.E)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		f.Add(z.Clone())
+	}
+	return f, nil
+}
+
+// PClock is a clock constraint atom.
+type PClock struct {
+	C model.ClockConstraint
+}
+
+func (p *PClock) String() string { return fmt.Sprintf("clock[%d,%d]%v", p.C.I, p.C.J, p.C.Bound) }
+
+func (p *PClock) fed(ev *evalCtx, z *dbm.DBM) (*dbm.Federation, error) {
+	return dbm.FedFromDBM(z.Dim(), z.Constrain(p.C.I, p.C.J, p.C.Bound)), nil
+}
+
+// PAnd is conjunction.
+type PAnd struct{ L, R Prop }
+
+func (p *PAnd) String() string { return fmt.Sprintf("(%s and %s)", p.L, p.R) }
+
+func (p *PAnd) fed(ev *evalCtx, z *dbm.DBM) (*dbm.Federation, error) {
+	l, err := p.L.fed(ev, z)
+	if err != nil {
+		return nil, err
+	}
+	if l.IsEmpty() {
+		return l, nil
+	}
+	r, err := p.R.fed(ev, z)
+	if err != nil {
+		return nil, err
+	}
+	return l.Intersect(r), nil
+}
+
+// POr is disjunction.
+type POr struct{ L, R Prop }
+
+func (p *POr) String() string { return fmt.Sprintf("(%s or %s)", p.L, p.R) }
+
+func (p *POr) fed(ev *evalCtx, z *dbm.DBM) (*dbm.Federation, error) {
+	l, err := p.L.fed(ev, z)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.R.fed(ev, z)
+	if err != nil {
+		return nil, err
+	}
+	l.Union(r)
+	return l, nil
+}
+
+// PNot is negation (complement within the zone).
+type PNot struct{ E Prop }
+
+func (p *PNot) String() string { return fmt.Sprintf("not %s", p.E) }
+
+func (p *PNot) fed(ev *evalCtx, z *dbm.DBM) (*dbm.Federation, error) {
+	sub, err := p.E.fed(ev, z)
+	if err != nil {
+		return nil, err
+	}
+	return dbm.FedFromDBM(z.Dim(), z.Clone()).Subtract(sub), nil
+}
+
+// PQuant is a bounded quantifier over an integer range; the body may mix
+// data, clock and location atoms.
+type PQuant struct {
+	ForAll bool
+	Name   string
+	Lo, Hi int
+	Body   Prop
+}
+
+func (p *PQuant) String() string {
+	kw := "exists"
+	if p.ForAll {
+		kw = "forall"
+	}
+	return fmt.Sprintf("%s (%s:%d..%d) %s", kw, p.Name, p.Lo, p.Hi, p.Body)
+}
+
+func (p *PQuant) fed(ev *evalCtx, z *dbm.DBM) (*dbm.Federation, error) {
+	if ev.ectx.Bind == nil {
+		ev.ectx.Bind = map[string]int{}
+	}
+	saved, had := ev.ectx.Bind[p.Name]
+	defer func() {
+		if had {
+			ev.ectx.Bind[p.Name] = saved
+		} else {
+			delete(ev.ectx.Bind, p.Name)
+		}
+	}()
+	var acc *dbm.Federation
+	if p.ForAll {
+		acc = dbm.FedFromDBM(z.Dim(), z.Clone())
+	} else {
+		acc = dbm.NewFederation(z.Dim())
+	}
+	for i := p.Lo; i <= p.Hi; i++ {
+		ev.ectx.Bind[p.Name] = i
+		sub, err := p.Body.fed(ev, z)
+		if err != nil {
+			return nil, err
+		}
+		if p.ForAll {
+			acc = acc.Intersect(sub)
+			if acc.IsEmpty() {
+				break
+			}
+		} else {
+			acc.Union(sub)
+		}
+	}
+	return acc, nil
+}
+
+// GoalFed computes the satisfying sub-federation of zone z at the discrete
+// state (locs, vars).
+func (f *Formula) GoalFed(sys *model.System, locs []int, vars []int32, z *dbm.DBM) (*dbm.Federation, error) {
+	ev := &evalCtx{sys: sys, locs: locs, ectx: &expr.Ctx{Tbl: sys.Vars, Env: vars}}
+	return f.Prop.fed(ev, z)
+}
+
+// HoldsAtPoint evaluates the predicate at one concrete scaled valuation.
+// Evaluating over the universal zone is exact for point membership: every
+// federation operation preserves per-point semantics.
+func (f *Formula) HoldsAtPoint(sys *model.System, locs []int, vars []int32, val []int64, scale int64) (bool, error) {
+	fed, err := f.GoalFed(sys, locs, vars, dbm.New(sys.NumClocks()))
+	if err != nil {
+		return false, err
+	}
+	return fed.ContainsPoint(val, scale), nil
+}
+
+// ClockConstraints lists all clock atoms in the formula (used to compute
+// extrapolation constants).
+func (f *Formula) ClockConstraints() []model.ClockConstraint {
+	var out []model.ClockConstraint
+	var walk func(Prop)
+	walk = func(p Prop) {
+		switch q := p.(type) {
+		case *PClock:
+			out = append(out, q.C)
+		case *PAnd:
+			walk(q.L)
+			walk(q.R)
+		case *POr:
+			walk(q.L)
+			walk(q.R)
+		case *PNot:
+			walk(q.E)
+		case *PQuant:
+			walk(q.Body)
+		}
+	}
+	walk(f.Prop)
+	return out
+}

@@ -1,0 +1,216 @@
+package tctl
+
+import (
+	"strings"
+	"testing"
+
+	"tigatest/internal/dbm"
+	"tigatest/internal/expr"
+	"tigatest/internal/model"
+)
+
+// lightLike builds a small system reminiscent of the paper's running
+// example: IUT with locations Off/Dim/Bright, clocks x and Tp, environment
+// with Init/Work, an array variable and a dotted scalar.
+func lightLike() (*model.System, *ParseEnv) {
+	s := model.NewSystem("light")
+	s.AddClock("x")
+	s.AddClock("Tp")
+	s.Vars.MustDeclare(expr.VarDecl{Name: "inUse", Min: 0, Max: 1, Len: 3})
+	s.Vars.MustDeclare(expr.VarDecl{Name: "IUT.betterInfo", Min: 0, Max: 1, Len: 1})
+	iut := s.AddProcess("IUT")
+	iut.AddLocation(model.Location{Name: "Off"})
+	iut.AddLocation(model.Location{Name: "Dim"})
+	iut.AddLocation(model.Location{Name: "Bright"})
+	env := s.AddProcess("User")
+	env.AddLocation(model.Location{Name: "Init"})
+	env.AddLocation(model.Location{Name: "Work"})
+	// Give the processes a pair of dummy synchronized edges so Validate holds.
+	ch := s.AddChannel("touch", model.Controllable)
+	s.AddEdge(iut, model.Edge{Src: 0, Dst: 1, Dir: model.Receive, Chan: ch})
+	s.AddEdge(env, model.Edge{Src: 0, Dst: 0, Dir: model.Emit, Chan: ch})
+	return s, &ParseEnv{Sys: s, Ranges: map[string]Range{"BufferId": {0, 2}}}
+}
+
+func TestParsePaperFormulas(t *testing.T) {
+	_, env := lightLike()
+	good := []string{
+		"control: A<> IUT.Bright",
+		"control: A[] not IUT.Off",
+		"control: A<> (IUT.betterInfo == 1) and IUT.Dim",
+		"control: A<> forall (i : BufferId) (inUse[i] == 1)",
+		"control: A<> forall (i : BufferId) (inUse[i] == 1) and IUT.Off",
+		"control: A<> exists (i : 0..2) inUse[i] == 1",
+		"control: A<> x <= 5",
+		"control: A<> x - Tp >= 2 && IUT.Bright",
+		"control: A<> IUT.Bright or IUT.Dim",
+		"control: A<> !(IUT.Off || IUT.Dim)",
+		"control: A<> Tp == 2",
+	}
+	for _, src := range good {
+		if _, err := Parse(env, src); err != nil {
+			t.Errorf("parse %q: %v", src, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	_, env := lightLike()
+	bad := []string{
+		"",
+		"A<> IUT.Bright",                      // missing control:
+		"control: E<> IUT.Bright",             // not a control formula
+		"control: A<> IUT.Nowhere",            // unknown location treated as var -> unknown
+		"control: A<> forall (i : Nope) true", // unknown range
+		"control: A<> x",                      // clock without comparison
+		"control: A<> 3 <= x",                 // clock on the right
+		"control: A<> x <= Tp",                // non-constant rhs
+		"control: A<> IUT.Bright trailing",
+	}
+	for _, src := range bad {
+		if _, err := Parse(env, src); err == nil {
+			t.Errorf("parse %q: expected error", src)
+		}
+	}
+}
+
+func TestObjectiveKinds(t *testing.T) {
+	_, env := lightLike()
+	f := MustParse(env, "control: A<> IUT.Bright")
+	if f.Objective != Reach {
+		t.Error("A<> must parse as Reach")
+	}
+	f = MustParse(env, "control: A[] not IUT.Off")
+	if f.Objective != Safety {
+		t.Error("A[] must parse as Safety")
+	}
+}
+
+func TestGoalFedLocationAndData(t *testing.T) {
+	s, env := lightLike()
+	f := MustParse(env, "control: A<> IUT.Bright and IUT.betterInfo == 1")
+	z := dbm.New(s.NumClocks())
+	vars := s.Vars.InitialEnv()
+
+	fed, err := f.GoalFed(s, []int{2, 0}, vars, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fed.IsEmpty() {
+		t.Error("betterInfo==0: goal must be empty")
+	}
+	vars[3] = 1 // IUT.betterInfo slot (after inUse[3])
+	fed, err = f.GoalFed(s, []int{2, 0}, vars, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.IsEmpty() {
+		t.Error("in Bright with betterInfo==1 the goal must be the whole zone")
+	}
+	fed, err = f.GoalFed(s, []int{0, 0}, vars, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fed.IsEmpty() {
+		t.Error("in Off the goal must be empty")
+	}
+}
+
+func TestGoalFedClockAtoms(t *testing.T) {
+	s, env := lightLike()
+	f := MustParse(env, "control: A<> IUT.Bright and x >= 3 && x <= 5")
+	z := dbm.New(s.NumClocks())
+	fed, err := f.GoalFed(s, []int{2, 0}, s.Vars.InitialEnv(), z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.ContainsPoint([]int64{2 * 8, 0}, 8) {
+		t.Error("x=2 must not satisfy x>=3")
+	}
+	if !fed.ContainsPoint([]int64{4 * 8, 0}, 8) {
+		t.Error("x=4 must satisfy")
+	}
+	if fed.ContainsPoint([]int64{6 * 8, 0}, 8) {
+		t.Error("x=6 must not satisfy x<=5")
+	}
+}
+
+func TestGoalFedNegationAndOr(t *testing.T) {
+	s, env := lightLike()
+	f := MustParse(env, "control: A<> not (x <= 3 or x >= 7)")
+	z := dbm.New(s.NumClocks())
+	fed, err := f.GoalFed(s, []int{0, 0}, s.Vars.InitialEnv(), z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		x    int64
+		want bool
+	}{{3 * 8, false}, {3*8 + 1, true}, {5 * 8, true}, {7*8 - 1, true}, {7 * 8, false}} {
+		if got := fed.ContainsPoint([]int64{tc.x, 0}, 8); got != tc.want {
+			t.Errorf("not(x<=3 or x>=7) at x=%d/8: got %v want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestGoalFedQuantifier(t *testing.T) {
+	s, env := lightLike()
+	f := MustParse(env, "control: A<> forall (i : BufferId) inUse[i] == 1")
+	z := dbm.New(s.NumClocks())
+	vars := s.Vars.InitialEnv()
+	fed, _ := f.GoalFed(s, []int{0, 0}, vars, z)
+	if !fed.IsEmpty() {
+		t.Error("not all inUse are 1 yet")
+	}
+	for i := 0; i < 3; i++ {
+		vars[i] = 1
+	}
+	fed, _ = f.GoalFed(s, []int{0, 0}, vars, z)
+	if fed.IsEmpty() {
+		t.Error("all inUse are 1 now")
+	}
+	// exists variant with a clock body mixes zones per binding.
+	f2 := MustParse(env, "control: A<> exists (i : 0..1) (inUse[i] == 1 and x <= 2)")
+	vars[0], vars[1] = 0, 1
+	fed, _ = f2.GoalFed(s, []int{0, 0}, vars, z)
+	if !fed.ContainsPoint([]int64{8, 0}, 8) {
+		t.Error("x=1 with inUse[1]==1 must satisfy")
+	}
+	if fed.ContainsPoint([]int64{3 * 8, 0}, 8) {
+		t.Error("x=3 must not satisfy x<=2")
+	}
+}
+
+func TestHoldsAtPoint(t *testing.T) {
+	s, env := lightLike()
+	f := MustParse(env, "control: A<> IUT.Dim and x - Tp >= 2")
+	ok, err := f.HoldsAtPoint(s, []int{1, 0}, s.Vars.InitialEnv(), []int64{5 * 8, 2 * 8}, 8)
+	if err != nil || !ok {
+		t.Errorf("x-Tp=3>=2 in Dim must hold: %v %v", ok, err)
+	}
+	ok, _ = f.HoldsAtPoint(s, []int{1, 0}, s.Vars.InitialEnv(), []int64{5 * 8, 4 * 8}, 8)
+	if ok {
+		t.Error("x-Tp=1 must not hold")
+	}
+}
+
+func TestClockConstraintsExtraction(t *testing.T) {
+	_, env := lightLike()
+	f := MustParse(env, "control: A<> (x <= 5 and IUT.Bright) or Tp > 7")
+	cs := f.ClockConstraints()
+	if len(cs) != 2 {
+		t.Fatalf("got %d clock constraints, want 2", len(cs))
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	_, env := lightLike()
+	src := "control: A<> IUT.Bright"
+	f := MustParse(env, src)
+	if f.String() != src {
+		t.Errorf("String() = %q, want %q", f.String(), src)
+	}
+	if !strings.Contains((&Formula{Objective: Safety, Prop: &PLoc{name: "P.L"}}).String(), "A[]") {
+		t.Error("synthetic formula must render objective")
+	}
+}

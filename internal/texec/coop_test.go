@@ -1,0 +1,111 @@
+package texec
+
+import (
+	"testing"
+
+	"tigatest/internal/game"
+	"tigatest/internal/model"
+	"tigatest/internal/models"
+	"tigatest/internal/tctl"
+	"tigatest/internal/tiots"
+)
+
+// coopStrategy synthesizes a cooperative strategy for a purpose the tester
+// cannot force: Bright before the user could re-touch (z < 1) requires the
+// light to volunteer bright! from L5.
+func coopStrategy(t *testing.T) (*model.System, *game.Strategy, []int) {
+	t.Helper()
+	sys := models.SmartLight()
+	plant := models.SmartLightPlant(sys)
+	f := tctl.MustParse(models.SmartLightEnv(sys), "control: A<> IUT.Bright and z < 1")
+
+	adv, err := game.Solve(sys, f, game.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Winnable {
+		t.Fatal("this purpose must not be adversarially winnable")
+	}
+	coop, err := game.Solve(sys, f, game.Options{TreatAllControllable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !coop.Winnable {
+		t.Fatal("cooperatively the plant can grant it")
+	}
+	return sys, coop.Strategy, plant
+}
+
+func TestCooperativePassWithHelpfulPlant(t *testing.T) {
+	sys, strat, plant := coopStrategy(t)
+	impl := model.ExtractPlant(sys, plant, "Harness")
+	// Default policy fires outputs as soon as enabled: bright! from L5 at
+	// z=0 — the hoped-for behaviour.
+	brightCh, _ := sys.ChannelByName("bright")
+	policy := &tiots.DetPolicy{Priority: map[int]int{}}
+	for _, p := range impl.Procs {
+		for _, e := range p.Edges {
+			if e.Dir == model.Emit && e.Chan == brightCh {
+				policy.Priority[e.ID] = -1
+			}
+		}
+	}
+	res := Run(strat, tiots.NewDetIUT(impl, tiots.Scale, policy), Options{PlantProcs: plant})
+	if res.Verdict != Pass {
+		t.Fatalf("helpful plant must grant the cooperative purpose: %s", res)
+	}
+}
+
+func TestCooperativeInconclusiveWithUnhelpfulPlant(t *testing.T) {
+	sys, strat, plant := coopStrategy(t)
+	impl := model.ExtractPlant(sys, plant, "Harness")
+	// A lazy plant (offset 1.5) can never produce bright with z < 1.
+	policy := &tiots.DetPolicy{ByEdge: map[int]tiots.OutputDecision{}}
+	for _, p := range impl.Procs {
+		for _, e := range p.Edges {
+			if e.Dir == model.Emit {
+				policy.ByEdge[e.ID] = tiots.OutputDecision{Enabled: true, Offset: 3 * tiots.Scale / 2}
+			}
+		}
+	}
+	res := Run(strat, tiots.NewDetIUT(impl, tiots.Scale, policy), Options{PlantProcs: plant})
+	if res.Verdict != Inconclusive {
+		t.Fatalf("unhelpful (but conformant) plant must yield inconclusive, not %s", res)
+	}
+	// Crucially NOT fail: the implementation did nothing wrong.
+	if res.Verdict == Fail {
+		t.Fatal("cooperative misses must never be blamed on the implementation")
+	}
+}
+
+func TestCooperativeStillFailsRealViolations(t *testing.T) {
+	// Cooperative execution keeps the tioco monitor armed: a plant that
+	// answers with a wrong output still fails.
+	sys, strat, plant := coopStrategy(t)
+	impl := model.ExtractPlant(sys, plant, "Harness")
+	// Corrupt the implementation: make L1's dim edge emit off instead.
+	offCh, _ := sys.ChannelByName("off")
+	dimCh, _ := sys.ChannelByName("dim")
+	for _, p := range impl.Procs {
+		for ei := range p.Edges {
+			if p.Edges[ei].Dir == model.Emit && p.Edges[ei].Chan == dimCh {
+				p.Edges[ei].Chan = offCh
+			}
+		}
+	}
+	res := Run(strat, tiots.NewDetIUT(impl, tiots.Scale, nil), Options{PlantProcs: plant})
+	// The run may end inconclusive before ever exercising the corrupted
+	// edge, but if the wrong output is observed it must be Fail. Drive the
+	// odds by running a campaign: at least no Pass may occur (the purpose
+	// needs bright with z<1, which this implementation never grants
+	// because... it may! bright edges are untouched. Accept fail or
+	// inconclusive; forbid pass only when a violation was observed.)
+	if res.Verdict == Fail {
+		return // violation caught: good
+	}
+	if res.Verdict == Pass {
+		// Possible: the plant volunteered bright before any dim was due.
+		// That is a legitimate pass; nothing to assert.
+		return
+	}
+}

@@ -1,0 +1,103 @@
+package tioco
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tigatest/internal/model"
+	"tigatest/internal/tiots"
+)
+
+// RandomCheckResult reports the outcome of a randomized conformance check.
+type RandomCheckResult struct {
+	Episodes   int
+	Violations int
+	First      *Violation // first violation found, if any
+	FirstTrace string
+}
+
+// Conforms reports whether no violation was observed. A true result is
+// only statistical evidence, not proof (unlike a failing run, which is a
+// definite counterexample by Theorem 10).
+func (r RandomCheckResult) Conforms() bool { return r.Violations == 0 }
+
+func (r RandomCheckResult) String() string {
+	if r.Conforms() {
+		return fmt.Sprintf("no violation in %d random episodes", r.Episodes)
+	}
+	return fmt.Sprintf("%d/%d episodes violated tioco; first: %v (trace %s)",
+		r.Violations, r.Episodes, r.First, r.FirstTrace)
+}
+
+// RandomCheck drives the implementation with random inputs and delays and
+// monitors every observation against the specification — an offline,
+// strategy-free tioco oracle used to cross-validate the strategy-guided
+// verdicts of Algorithm 3.1 (a cheap substitute for an exact product-based
+// inclusion check; see DESIGN.md).
+func RandomCheck(spec *model.System, plantProcs []int, iut tiots.IUT, episodes, stepsPerEpisode int, scale int64, seed int64) (RandomCheckResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	res := RandomCheckResult{Episodes: episodes}
+
+	var inputs []int
+	for _, ch := range spec.Channels {
+		if ch.Kind == model.Controllable {
+			inputs = append(inputs, ch.Index)
+		}
+	}
+
+	for ep := 0; ep < episodes; ep++ {
+		mon, err := NewMonitor(spec, plantProcs, scale)
+		if err != nil {
+			return res, err
+		}
+		iut.Reset()
+		violated := func(v error) bool {
+			if v == nil {
+				return false
+			}
+			res.Violations++
+			if res.First == nil {
+				if viol, ok := v.(*Violation); ok {
+					res.First = viol
+				} else {
+					res.First = &Violation{Kind: "internal", Detail: v.Error()}
+				}
+				res.FirstTrace = mon.Trace()
+			}
+			return true
+		}
+
+	episode:
+		for step := 0; step < stepsPerEpisode; step++ {
+			if len(inputs) > 0 && rng.Intn(2) == 0 {
+				// Offer a random input.
+				ch := inputs[rng.Intn(len(inputs))]
+				if err := iut.Offer(ch); err != nil {
+					return res, err
+				}
+				if violated(mon.Input(ch)) {
+					break episode
+				}
+				continue
+			}
+			// Let a random amount of time pass, watching for outputs.
+			d := rng.Int63n(6*scale) + 1
+			out := iut.Advance(d)
+			if out == nil {
+				if violated(mon.Delay(d)) {
+					break episode
+				}
+				continue
+			}
+			if out.After > 0 {
+				if violated(mon.Delay(out.After)) {
+					break episode
+				}
+			}
+			if violated(mon.Output(out.Chan)) {
+				break episode
+			}
+		}
+	}
+	return res, nil
+}

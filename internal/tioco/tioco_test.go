@@ -1,0 +1,163 @@
+package tioco
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tigatest/internal/models"
+	"tigatest/internal/tiots"
+)
+
+// The Smart Light plant: Off --touch?[x<20]--> L1(Tp<=2) --dim!--> Dim ...
+func lightMonitor(t *testing.T) (*Monitor, map[string]int) {
+	t.Helper()
+	s := models.SmartLight()
+	m, err := NewMonitor(s, models.SmartLightPlant(s), tiots.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chans := map[string]int{}
+	for _, c := range s.Channels {
+		chans[c.Name] = c.Index
+	}
+	return m, chans
+}
+
+func TestMonitorAcceptsSpecTrace(t *testing.T) {
+	m, ch := lightMonitor(t)
+	// touch (x=0<20) -> L1; dim after 1.5 -> Dim; wait 4; touch -> L4; off.
+	steps := []func() error{
+		func() error { return m.Input(ch["touch"]) },
+		func() error { return m.Delay(tiots.Scale + tiots.Scale/2) },
+		func() error { return m.Output(ch["dim"]) },
+		func() error { return m.Delay(4 * tiots.Scale) },
+		func() error { return m.Input(ch["touch"]) },
+		func() error { return m.Delay(tiots.Scale) },
+		func() error { return m.Output(ch["off"]) },
+	}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			t.Fatalf("step %d: unexpected violation: %v (trace %s)", i, err, m.Trace())
+		}
+	}
+}
+
+func TestMonitorRejectsWrongOutput(t *testing.T) {
+	m, ch := lightMonitor(t)
+	if err := m.Input(ch["touch"]); err != nil {
+		t.Fatal(err)
+	}
+	// In L1 only dim! is allowed; bright! is a violation.
+	err := m.Output(ch["bright"])
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("expected a Violation, got %v", err)
+	}
+	if v.Kind != "output" {
+		t.Fatalf("expected output violation, got %s", v.Kind)
+	}
+	if !strings.Contains(v.Detail, "bright") {
+		t.Errorf("violation detail should name the channel: %s", v.Detail)
+	}
+}
+
+func TestMonitorRejectsLateOutput(t *testing.T) {
+	m, ch := lightMonitor(t)
+	m.Input(ch["touch"])
+	// L1's invariant forces dim by Tp=2: staying quiet for 3 units is a
+	// delay violation.
+	err := m.Delay(3 * tiots.Scale)
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("expected delay violation, got %v", err)
+	}
+	if v.Kind != "delay" {
+		t.Fatalf("expected delay violation, got %s", v.Kind)
+	}
+}
+
+func TestMonitorRejectsEarlyOutput(t *testing.T) {
+	m, ch := lightMonitor(t)
+	m.Input(ch["touch"]) // x=0 -> L1
+	m.Delay(tiots.Scale / 2)
+	if err := m.Output(ch["dim"]); err != nil {
+		t.Fatalf("dim at 0.5 is inside the window: %v", err)
+	}
+	// Now in Dim with x=0; a second dim without a touch is not allowed.
+	if err := m.Output(ch["dim"]); err == nil {
+		t.Fatal("spontaneous second dim must be rejected")
+	}
+}
+
+func TestMonitorBoundaryTiming(t *testing.T) {
+	m, ch := lightMonitor(t)
+	m.Input(ch["touch"])
+	// Exactly at the Tp=2 boundary dim is still allowed...
+	if err := m.Delay(2 * tiots.Scale); err != nil {
+		t.Fatalf("delay to the boundary must be allowed: %v", err)
+	}
+	if err := m.Output(ch["dim"]); err != nil {
+		t.Fatalf("dim exactly at Tp=2 must be allowed: %v", err)
+	}
+	// ...but one tick past the boundary the delay itself violates.
+	m2, ch2 := lightMonitor(t)
+	m2.Input(ch2["touch"])
+	if err := m2.Delay(2*tiots.Scale + 1); err == nil {
+		t.Fatal("delay one tick past the forced deadline must violate")
+	}
+}
+
+func TestMonitorInputsIgnoredWhereDisabled(t *testing.T) {
+	m, ch := lightMonitor(t)
+	// touch in Off at x=0 goes to L1; in L1 no touch edge exists, so the
+	// spec (strongly input-enabled in spirit) ignores it.
+	m.Input(ch["touch"])
+	if err := m.Input(ch["touch"]); err != nil {
+		t.Fatalf("ignored input must not be an error: %v", err)
+	}
+	if m.StateCount() == 0 {
+		t.Fatal("monitor lost all hypotheses")
+	}
+}
+
+func TestMonitorRejectsInputOnOutputChannel(t *testing.T) {
+	m, ch := lightMonitor(t)
+	if err := m.Input(ch["dim"]); err == nil {
+		t.Fatal("dim is an output channel; Input must reject it")
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	m, ch := lightMonitor(t)
+	m.Input(ch["touch"])
+	m.Reset()
+	if m.Trace() != "" || m.StateCount() != 1 {
+		t.Fatal("reset must restore the initial hypothesis")
+	}
+	// The initial state allows a 100-unit delay (Off has no invariant).
+	if err := m.Delay(100 * tiots.Scale); err != nil {
+		t.Fatalf("Off allows arbitrary delays: %v", err)
+	}
+}
+
+func TestAllowedOutputsDiagnostic(t *testing.T) {
+	m, ch := lightMonitor(t)
+	if got := m.AllowedOutputs(); got != "none" {
+		t.Fatalf("no outputs allowed in Off, got %s", got)
+	}
+	m.Input(ch["touch"])
+	if got := m.AllowedOutputs(); !strings.Contains(got, "dim!") {
+		t.Fatalf("dim must be allowed in L1, got %s", got)
+	}
+}
+
+func TestMonitorRequiresObservablePlant(t *testing.T) {
+	s := models.SmartLight()
+	if _, err := NewMonitor(s, nil, tiots.Scale); err == nil {
+		t.Fatal("empty plant set must be rejected")
+	}
+	if _, err := NewMonitor(s, []int{99}, tiots.Scale); err == nil {
+		t.Fatal("out-of-range plant index must be rejected")
+	}
+}
