@@ -164,6 +164,30 @@ func BenchmarkSolverAblation(b *testing.B) {
 	})
 }
 
+// BenchmarkSolverParallel tracks the sharded parallel engine on the
+// LEP TP2 n=4 cell: wall-clock scaling across worker counts (visible on
+// multi-core runners) and the allocation reduction of the batched engine
+// versus the workers=1 serial schedule.
+func BenchmarkSolverParallel(b *testing.B) {
+	sys := models.LEP(models.LEPOptions{Nodes: 4})
+	f := tctl.MustParse(models.LEPEnv(sys, 4), models.LEPTP2)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := game.Solve(sys, f, game.Options{Workers: w})
+				if err != nil {
+					b.Fatalf("solve: %v", err)
+				}
+				if !res.Winnable {
+					b.Fatal("LEP TP2 is winnable")
+				}
+				b.ReportMetric(float64(res.Stats.Nodes), "states")
+			}
+		})
+	}
+}
+
 func BenchmarkFederationReduction(b *testing.B) {
 	sys := models.SmartLight()
 	f := tctl.MustParse(models.SmartLightEnv(sys), models.SmartLightGoal)

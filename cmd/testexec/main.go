@@ -34,6 +34,7 @@ func main() {
 		perOp     = flag.Int("perop", 0, "mutants per operator in the campaign (0 = all)")
 		serve     = flag.String("serve", "", "serve a conformant IUT on this address instead of testing")
 		connect   = flag.String("connect", "", "test an IUT served at this address")
+		workers   = flag.Int("workers", 0, "parallel synthesis workers (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -61,7 +62,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := game.Solve(spec, f, game.Options{})
+	res, err := game.Solve(spec, f, game.Options{Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"tigatest/internal/dsl"
@@ -39,6 +40,7 @@ func main() {
 		jsonOut   = flag.String("json", "", "write the strategy as JSON to this file")
 		budget    = flag.Duration("budget", 0, "time budget (0 = none)")
 		memMB     = flag.Uint64("mem", 0, "memory budget in MiB (0 = none)")
+		workers   = flag.Int("workers", 0, "parallel exploration workers (0 = all cores, 1 = serial)")
 		quiet     = flag.Bool("quiet", false, "suppress the strategy printout")
 	)
 	flag.Parse()
@@ -64,6 +66,7 @@ func main() {
 		EarlyTermination: *early,
 		TimeBudget:       *budget,
 		MemBudget:        *memMB << 20,
+		Workers:          *workers,
 	}
 	if *backward {
 		opts.Algorithm = game.Backward
@@ -76,7 +79,11 @@ func main() {
 	fmt.Printf("formula:  %s\n", purpose)
 	fmt.Printf("model:    %s (%d processes, %d clocks, %d edges)\n",
 		f.Sys.Name, len(f.Sys.Procs), f.Sys.NumClocks()-1, f.Sys.NumEdges())
-	fmt.Printf("solver:   %s\n", opts.Algorithm)
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("solver:   %s (workers=%d)\n", opts.Algorithm, effWorkers)
 	fmt.Printf("result:   winnable=%v\n", res.Winnable)
 	fmt.Printf("effort:   %d symbolic states, %d transitions, %d re-evaluations, %v, peak heap %d MiB\n",
 		res.Stats.Nodes, res.Stats.Transitions, res.Stats.Reevals, time.Since(t0).Round(time.Millisecond), res.Stats.PeakHeapBytes>>20)

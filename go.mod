@@ -1,0 +1,3 @@
+module tigatest
+
+go 1.24

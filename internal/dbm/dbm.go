@@ -21,7 +21,7 @@ func New(dim int) *DBM {
 	if dim < 1 {
 		panic("dbm: dimension must include the reference clock")
 	}
-	d := &DBM{dim: dim, m: make([]Bound, dim*dim)}
+	d := alloc(dim)
 	for i := 0; i < dim; i++ {
 		for j := 0; j < dim; j++ {
 			switch {
@@ -39,7 +39,7 @@ func New(dim int) *DBM {
 
 // Zero returns the zone containing exactly the valuation with all clocks 0.
 func Zero(dim int) *DBM {
-	d := &DBM{dim: dim, m: make([]Bound, dim*dim)}
+	d := alloc(dim)
 	for i := range d.m {
 		d.m[i] = LEZero
 	}
@@ -80,7 +80,7 @@ func (d *DBM) Clone() *DBM {
 	if d == nil {
 		return nil
 	}
-	c := &DBM{dim: d.dim, m: make([]Bound, len(d.m))}
+	c := alloc(d.dim)
 	copy(c.m, d.m)
 	return c
 }
@@ -113,6 +113,41 @@ func (d *DBM) close() bool {
 	return true
 }
 
+// ConstrainInPlace conjoins the constraint xi - xj ~ b into d, keeping d
+// canonical, and reports whether the result is non-empty. On false the
+// contents of d are unspecified and the caller should discard (or Release)
+// it. d must be exclusively owned.
+func (d *DBM) ConstrainInPlace(i, j int, b Bound) bool {
+	if b == Infinity || b >= d.At(i, j) {
+		return true
+	}
+	// Quick infeasibility check: b together with the reverse path must keep
+	// the cycle non-negative.
+	if Add(d.At(j, i), b) < LEZero {
+		return false
+	}
+	d.set(i, j, b)
+	// Incremental closure: only paths through (i,j) can have improved.
+	n := d.dim
+	for p := 0; p < n; p++ {
+		pi := d.At(p, i)
+		if pi == Infinity {
+			continue
+		}
+		for q := 0; q < n; q++ {
+			if nb := Add(Add(pi, b), d.At(j, q)); nb < d.At(p, q) {
+				d.set(p, q, nb)
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		if d.At(k, k) < LEZero {
+			return false
+		}
+	}
+	return true
+}
+
 // Constrain returns d intersected with the constraint xi - xj ~ b, or nil if
 // the result is empty.
 func (d *DBM) Constrain(i, j int, b Bound) *DBM {
@@ -122,32 +157,33 @@ func (d *DBM) Constrain(i, j int, b Bound) *DBM {
 	if b == Infinity || b >= d.At(i, j) {
 		return d.Clone()
 	}
-	// Quick infeasibility check: b together with the reverse path must keep
-	// the cycle non-negative.
 	if Add(d.At(j, i), b) < LEZero {
 		return nil
 	}
 	c := d.Clone()
-	c.set(i, j, b)
-	// Incremental closure: only paths through (i,j) can have improved.
-	n := c.dim
-	for p := 0; p < n; p++ {
-		pi := c.At(p, i)
-		if pi == Infinity {
-			continue
-		}
-		for q := 0; q < n; q++ {
-			if nb := Add(Add(pi, b), c.At(j, q)); nb < c.At(p, q) {
-				c.set(p, q, nb)
-			}
-		}
-	}
-	for i := 0; i < n; i++ {
-		if c.At(i, i) < LEZero {
-			return nil
-		}
+	if !c.ConstrainInPlace(i, j, b) {
+		c.Release()
+		return nil
 	}
 	return c
+}
+
+// IntersectInPlace conjoins o into d, keeping d canonical, and reports
+// whether the result is non-empty. On false the contents of d are
+// unspecified and the caller should discard (or Release) it. d must be
+// exclusively owned.
+func (d *DBM) IntersectInPlace(o *DBM) bool {
+	if d.dim != o.dim {
+		panic("dbm: dimension mismatch")
+	}
+	changed := false
+	for i := range d.m {
+		if o.m[i] < d.m[i] {
+			d.m[i] = o.m[i]
+			changed = true
+		}
+	}
+	return !changed || d.close()
 }
 
 // Intersect returns the conjunction of d and o, or nil when disjoint.
@@ -155,21 +191,20 @@ func (d *DBM) Intersect(o *DBM) *DBM {
 	if d == nil || o == nil {
 		return nil
 	}
-	if d.dim != o.dim {
-		panic("dbm: dimension mismatch")
-	}
 	c := d.Clone()
-	changed := false
-	for i := range c.m {
-		if o.m[i] < c.m[i] {
-			c.m[i] = o.m[i]
-			changed = true
-		}
-	}
-	if changed && !c.close() {
+	if !c.IntersectInPlace(o) {
+		c.Release()
 		return nil
 	}
 	return c
+}
+
+// UpInPlace replaces d by its future in place (d stays closed: see
+// Bengtsson & Yi, "Timed Automata: Semantics, Algorithms and Tools").
+func (d *DBM) UpInPlace() {
+	for i := 1; i < d.dim; i++ {
+		d.set(i, 0, Infinity)
+	}
 }
 
 // Up returns the future of d: every valuation reachable from d by letting
@@ -179,10 +214,17 @@ func (d *DBM) Up() *DBM {
 		return nil
 	}
 	c := d.Clone()
-	for i := 1; i < c.dim; i++ {
-		c.set(i, 0, Infinity)
+	c.UpInPlace()
+	return c
+}
+
+// DownInPlace replaces d by its past in place (relaxation cannot introduce
+// emptiness).
+func (d *DBM) DownInPlace() {
+	for j := 1; j < d.dim; j++ {
+		d.set(0, j, LEZero)
 	}
-	return c // remains closed: see Bengtsson & Yi, "Timed Automata: Semantics, Algorithms and Tools"
+	d.close()
 }
 
 // Down returns the past of d: every valuation from which some delay leads
@@ -192,11 +234,24 @@ func (d *DBM) Down() *DBM {
 		return nil
 	}
 	c := d.Clone()
-	for j := 1; j < c.dim; j++ {
-		c.set(0, j, LEZero)
-	}
-	c.close() // relaxation cannot introduce emptiness
+	c.DownInPlace()
 	return c
+}
+
+// ResetInPlace sets clock i to the non-negative integer value v in place
+// (d remains closed).
+func (d *DBM) ResetInPlace(i, v int) {
+	if i <= 0 || i >= d.dim {
+		panic("dbm: Reset on reference or out-of-range clock")
+	}
+	for j := 0; j < d.dim; j++ {
+		if j == i {
+			continue
+		}
+		d.set(i, j, Add(LE(v), d.At(0, j)))
+		d.set(j, i, Add(d.At(j, 0), LE(-v)))
+	}
+	d.set(i, i, LEZero)
 }
 
 // Reset returns d with clock i set to the non-negative integer value v.
@@ -204,19 +259,26 @@ func (d *DBM) Reset(i int, v int) *DBM {
 	if d == nil {
 		return nil
 	}
-	if i <= 0 || i >= d.dim {
-		panic("dbm: Reset on reference or out-of-range clock")
-	}
 	c := d.Clone()
-	for j := 0; j < c.dim; j++ {
+	c.ResetInPlace(i, v)
+	return c
+}
+
+// FreeInPlace removes all constraints on clock i in place (d remains
+// closed).
+func (d *DBM) FreeInPlace(i int) {
+	if i <= 0 || i >= d.dim {
+		panic("dbm: Free on reference or out-of-range clock")
+	}
+	for j := 0; j < d.dim; j++ {
 		if j == i {
 			continue
 		}
-		c.set(i, j, Add(LE(v), c.At(0, j)))
-		c.set(j, i, Add(c.At(j, 0), LE(-v)))
+		d.set(i, j, Infinity)
+		d.set(j, i, d.At(j, 0))
 	}
-	c.set(i, i, LEZero)
-	return c // remains closed
+	d.set(i, 0, Infinity)
+	d.set(0, i, LEZero)
 }
 
 // Free returns d with all constraints on clock i removed (xi ranges over all
@@ -225,20 +287,9 @@ func (d *DBM) Free(i int) *DBM {
 	if d == nil {
 		return nil
 	}
-	if i <= 0 || i >= d.dim {
-		panic("dbm: Free on reference or out-of-range clock")
-	}
 	c := d.Clone()
-	for j := 0; j < c.dim; j++ {
-		if j == i {
-			continue
-		}
-		c.set(i, j, Infinity)
-		c.set(j, i, c.At(j, 0))
-	}
-	c.set(i, 0, Infinity)
-	c.set(0, i, LEZero)
-	return c // remains closed
+	c.FreeInPlace(i)
+	return c
 }
 
 // Relation flags.
@@ -397,43 +448,50 @@ func (d *DBM) DelayInterval(v []int64, scale int64) (Interval, bool) {
 	return iv, true
 }
 
-// Extrapolate applies classic max-constant extrapolation (ExtraM): bounds
-// above max[i] become infinity and lower bounds below -max[j] are relaxed,
-// guaranteeing a finite zone graph. max is indexed by clock (entry 0 is
-// ignored).
-func (d *DBM) Extrapolate(max []int) *DBM {
-	if d == nil {
-		return nil
-	}
-	c := d.Clone()
+// ExtrapolateInPlace applies classic max-constant extrapolation (ExtraM)
+// in place: bounds above max[i] become infinity and lower bounds below
+// -max[j] are relaxed, guaranteeing a finite zone graph. max is indexed by
+// clock (entry 0 is ignored). Extrapolation only relaxes, so d cannot
+// become empty.
+func (d *DBM) ExtrapolateInPlace(max []int) {
 	changed := false
-	for i := 1; i < c.dim; i++ {
-		for j := 0; j < c.dim; j++ {
+	for i := 1; i < d.dim; i++ {
+		for j := 0; j < d.dim; j++ {
 			if i == j {
 				continue
 			}
-			b := c.At(i, j)
+			b := d.At(i, j)
 			if b != Infinity && b.Value() > max[i] {
-				c.set(i, j, Infinity)
+				d.set(i, j, Infinity)
 				changed = true
 			}
 		}
 	}
-	for j := 1; j < c.dim; j++ {
-		for i := 0; i < c.dim; i++ {
+	for j := 1; j < d.dim; j++ {
+		for i := 0; i < d.dim; i++ {
 			if i == j {
 				continue
 			}
-			b := c.At(i, j)
+			b := d.At(i, j)
 			if b != Infinity && b.Value() < -max[j] {
-				c.set(i, j, LT(-max[j]))
+				d.set(i, j, LT(-max[j]))
 				changed = true
 			}
 		}
 	}
 	if changed {
-		c.close() // extrapolation only relaxes; cannot become empty
+		d.close()
 	}
+}
+
+// Extrapolate returns a max-constant extrapolated copy of d (see
+// ExtrapolateInPlace).
+func (d *DBM) Extrapolate(max []int) *DBM {
+	if d == nil {
+		return nil
+	}
+	c := d.Clone()
+	c.ExtrapolateInPlace(max)
 	return c
 }
 
@@ -459,9 +517,31 @@ func (d *DBM) DelayableInterior() *DBM {
 		}
 	}
 	if changed && !c.close() {
+		c.Release()
 		return nil
 	}
 	return c
+}
+
+// FNV-1a parameters for the 64-bit zone hash.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// Hash returns a 64-bit FNV-1a hash of the canonical matrix. Because all
+// exported operations keep DBMs closed, semantically equal zones hash
+// equal, so zones can be interned and compared without building string
+// keys. Hash(nil) is a fixed sentinel.
+func (d *DBM) Hash() uint64 {
+	if d == nil {
+		return fnvOffset64
+	}
+	h := (fnvOffset64 ^ uint64(d.dim)) * fnvPrime64
+	for _, b := range d.m {
+		h = (h ^ uint64(uint32(b))) * fnvPrime64
+	}
+	return h
 }
 
 // Key returns a canonical map key for the zone.

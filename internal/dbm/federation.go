@@ -1,6 +1,9 @@
 package dbm
 
-import "strings"
+import (
+	"strings"
+	"sync"
+)
 
 // Federation is a finite union of same-dimension zones. The zero value (or
 // an empty zone list) is the empty set. Federations are kept reduced:
@@ -14,8 +17,36 @@ type Federation struct {
 // exposed so benchmarks can measure its effect (ablation E4 in DESIGN.md).
 var ReduceFederations = true
 
+// fedPool recycles federation wrappers (struct plus zone-list backing
+// array); the solver creates and discards millions of short-lived
+// federations, so wrapper reuse matters as much as matrix reuse.
+var fedPool sync.Pool
+
 // NewFederation returns the empty federation of the given dimension.
-func NewFederation(dim int) *Federation { return &Federation{dim: dim} }
+func NewFederation(dim int) *Federation {
+	if v := fedPool.Get(); v != nil {
+		f := v.(*Federation)
+		f.dim = dim
+		return f
+	}
+	return &Federation{dim: dim}
+}
+
+// Recycle returns f's wrapper (struct and zone-list backing array) to the
+// pool WITHOUT touching the zones — for federations whose zones were
+// transferred (Union) into another federation or are shared with one.
+// f must not be used after Recycle. Compare Release, which also recycles
+// the zones and therefore requires exclusive ownership of them.
+func (f *Federation) Recycle() {
+	if f == nil {
+		return
+	}
+	f.zs = f.zs[:0]
+	fedPool.Put(f)
+}
+
+// recycle is the internal alias used by this package's hot paths.
+func (f *Federation) recycle() { f.Recycle() }
 
 // FedFromDBM wraps a single zone (nil yields the empty federation).
 func FedFromDBM(dim int, d *DBM) *Federation {
@@ -44,9 +75,8 @@ func (f *Federation) IsEmpty() bool { return f == nil || len(f.zs) == 0 }
 // Clone returns a deep copy.
 func (f *Federation) Clone() *Federation {
 	c := NewFederation(f.dim)
-	c.zs = make([]*DBM, len(f.zs))
-	for i, z := range f.zs {
-		c.zs[i] = z.Clone()
+	for _, z := range f.zs {
+		c.zs = append(c.zs, z.Clone())
 	}
 	return c
 }
@@ -122,22 +152,29 @@ func SubtractDBM(a, b *DBM) *Federation {
 		dim = b.dim
 	}
 	f := NewFederation(dim)
-	subtractInto(f, a, b)
+	subtractInto(f, a, b, false)
 	return f
 }
 
-func subtractInto(f *Federation, a, b *DBM) {
+// subtractInto appends a − b to f. When own is true, a is consumed: it may
+// be mutated in place and is released to the allocator when it does not
+// survive into f. Every zone appended to f is owned by f (never aliases a
+// caller-retained zone), so callers may Release the result.
+func subtractInto(f *Federation, a, b *DBM, own bool) {
 	if a == nil {
 		return
 	}
 	if b == nil {
-		f.Add(a)
+		if !own {
+			a = a.Clone()
+		}
+		f.Add(a) // ownership transfers to f
 		return
 	}
 	if a.dim != b.dim {
 		panic("dbm: subtract dimension mismatch")
 	}
-	rest := a
+	rest, restOwned := a, own
 	cut := false
 	for i := 0; i < a.dim && rest != nil; i++ {
 		for j := 0; j < a.dim && rest != nil; j++ {
@@ -152,17 +189,30 @@ func subtractInto(f *Federation, a, b *DBM) {
 			// Outside piece: rest ∧ ¬(xi - xj ~ bb).
 			f.Add(rest.Constrain(j, i, bb.Negate()))
 			// Continue splitting inside the facet.
-			rest = rest.Constrain(i, j, bb)
+			if restOwned {
+				if !rest.ConstrainInPlace(i, j, bb) {
+					rest.Release()
+					rest = nil
+				}
+			} else {
+				rest = rest.Constrain(i, j, bb)
+				restOwned = true
+			}
 		}
 	}
 	if !cut {
 		// b does not tighten a anywhere: a ⊆ b, difference empty.
+		if own {
+			a.Release()
+		}
 		return
 	}
-	_ = rest // rest ⊆ b; discarded
+	if restOwned {
+		rest.Release() // rest ⊆ b; recycled
+	}
 }
 
-// Subtract returns f minus the federation o.
+// Subtract returns f minus the federation o. f and o are not modified.
 func (f *Federation) Subtract(o *Federation) *Federation {
 	if f.IsEmpty() {
 		return NewFederation(f.dim)
@@ -171,24 +221,96 @@ func (f *Federation) Subtract(o *Federation) *Federation {
 	if o.IsEmpty() {
 		return cur
 	}
+	cur.SubtractInPlace(o)
+	return cur
+}
+
+// SubtractInPlace replaces f by f − o. f and its zones must be exclusively
+// owned: zones of f that are cut by the subtraction are released to the
+// allocator. o is not modified. The subtraction rounds double-buffer
+// between f's own zone list and one scratch list, so no per-round
+// federation is allocated.
+func (f *Federation) SubtractInPlace(o *Federation) {
+	if f.IsEmpty() || o.IsEmpty() {
+		return
+	}
+	cur := f.zs
+	next := NewFederation(f.dim)
 	for _, b := range o.zs {
-		next := NewFederation(f.dim)
-		for _, a := range cur.zs {
-			subtractInto(next, a, b)
+		next.zs = next.zs[:0]
+		for _, a := range cur {
+			subtractInto(next, a, b, true)
 		}
-		cur = next
-		if cur.IsEmpty() {
+		// The consumed round becomes the next scratch buffer.
+		cur, next.zs = next.zs, cur[:0]
+		if len(cur) == 0 {
 			break
 		}
 	}
-	return cur
+	f.zs = cur
+	next.recycle()
+}
+
+// IntersectDBMInPlace conjoins z into every zone of f, dropping (and
+// releasing) zones that become empty. f and its zones must be exclusively
+// owned. Inclusion reduction is not reapplied, so the decomposition may
+// keep zones a rebuild via Add would have dropped (semantics unaffected).
+func (f *Federation) IntersectDBMInPlace(z *DBM) {
+	if f.IsEmpty() {
+		return
+	}
+	if z == nil {
+		f.Release()
+		return
+	}
+	out := f.zs[:0]
+	for _, a := range f.zs {
+		if a.IntersectInPlace(z) {
+			out = append(out, a)
+		} else {
+			a.Release()
+		}
+	}
+	f.zs = out
+}
+
+// Release returns every zone of f and f's own wrapper to the allocator.
+// The caller must own f and all its zones exclusively; in particular f
+// must not share zones with another live federation (Union shares, Clone
+// and Subtract do not), and f must not be used after Release.
+func (f *Federation) Release() {
+	if f == nil {
+		return
+	}
+	for i, z := range f.zs {
+		z.Release()
+		f.zs[i] = nil
+	}
+	f.recycle()
+}
+
+// Hash returns an order-insensitive 64-bit hash of the zone decomposition
+// (the sum of the zone hashes). Federations holding the same zones in any
+// order hash equal; semantically equal federations with different
+// decompositions generally do not — use Equals for semantic comparison.
+func (f *Federation) Hash() uint64 {
+	if f.IsEmpty() {
+		return 0
+	}
+	var h uint64
+	for _, z := range f.zs {
+		h += z.Hash()
+	}
+	return h
 }
 
 // Up returns the future of the federation.
 func (f *Federation) Up() *Federation {
 	r := NewFederation(f.dim)
 	for _, z := range f.zs {
-		r.Add(z.Up())
+		c := z.Clone()
+		c.UpInPlace()
+		r.Add(c)
 	}
 	return r
 }
@@ -197,7 +319,9 @@ func (f *Federation) Up() *Federation {
 func (f *Federation) Down() *Federation {
 	r := NewFederation(f.dim)
 	for _, z := range f.zs {
-		r.Add(z.Down())
+		c := z.Clone()
+		c.DownInPlace()
+		r.Add(c)
 	}
 	return r
 }
@@ -268,21 +392,34 @@ func PredT(good, bad *Federation) *Federation {
 			if acc.IsEmpty() {
 				break
 			}
-			acc = acc.Intersect(predtZone(g, b))
+			pz := predtZone(g, b)
+			next := acc.Intersect(pz)
+			acc.Release()
+			pz.Release()
+			acc = next
 		}
-		res.Union(acc)
+		res.Union(acc) // acc's zones transfer into res
+		acc.recycle()
 	}
 	return res
 }
 
-// predtZone computes predt(g, b) for convex zones.
+// predtZone computes predt(g, b) for convex zones. The result owns all its
+// zones (callers may Release it).
 func predtZone(g, b *DBM) *Federation {
 	gd := g.Down()
 	bd := b.Down()
-	r := SubtractDBM(gd, bd)
+	r := NewFederation(g.dim)
+	subtractInto(r, gd, bd, true) // consumes gd
 	// Points that reach g strictly before the trajectory enters b: the past
 	// of the part of g that lies before b on its own trajectory.
-	before := SubtractDBM(g.Intersect(bd), b)
-	r.Union(before.Down())
+	before := NewFederation(g.dim)
+	subtractInto(before, g.Intersect(bd), b, true)
+	bd.Release()
+	for _, z := range before.zs {
+		z.DownInPlace()
+		r.Add(z) // ownership transfers (dropped zones become garbage)
+	}
+	before.recycle()
 	return r
 }

@@ -1,0 +1,143 @@
+package dbm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The in-place variants must agree exactly with their cloning
+// counterparts; each property drives both through the generated zones of
+// quick_test.go.
+
+func TestQuickConstrainInPlaceAgrees(t *testing.T) {
+	f := func(a genZone, i8, j8 uint8, v int8, strict bool) bool {
+		i, j := int(i8)%quickDim, int(j8)%quickDim
+		if i == j {
+			return true
+		}
+		b := MakeBound(int(v%9)-2, strict)
+		want := a.Z.Constrain(i, j, b)
+		c := a.Z.Clone()
+		if !c.ConstrainInPlace(i, j, b) {
+			return want == nil
+		}
+		return want != nil && c.Equals(want)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectInPlaceAgrees(t *testing.T) {
+	f := func(a, b genZone) bool {
+		want := a.Z.Intersect(b.Z)
+		c := a.Z.Clone()
+		if !c.IntersectInPlace(b.Z) {
+			return want == nil
+		}
+		return want != nil && c.Equals(want)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUpDownResetFreeInPlaceAgree(t *testing.T) {
+	f := func(a genZone, clk8 uint8, v8 uint8) bool {
+		clk := 1 + int(clk8)%(quickDim-1)
+		v := int(v8 % 5)
+		u := a.Z.Clone()
+		u.UpInPlace()
+		d := a.Z.Clone()
+		d.DownInPlace()
+		r := a.Z.Clone()
+		r.ResetInPlace(clk, v)
+		fr := a.Z.Clone()
+		fr.FreeInPlace(clk)
+		return u.Equals(a.Z.Up()) && d.Equals(a.Z.Down()) &&
+			r.Equals(a.Z.Reset(clk, v)) && fr.Equals(a.Z.Free(clk))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHashMatchesEquality(t *testing.T) {
+	f := func(a, b genZone) bool {
+		return (a.Z.Hash() == b.Z.Hash()) == a.Z.Equals(b.Z)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubtractInPlaceAgrees(t *testing.T) {
+	f := func(a, b, c genZone) bool {
+		fa := NewFederation(quickDim)
+		fa.Add(a.Z.Clone())
+		fa.Add(b.Z.Clone())
+		o := FedFromDBM(quickDim, c.Z)
+		want := fa.Subtract(o)
+		fa.SubtractInPlace(o)
+		return fa.Equals(want)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFederationHash(t *testing.T) {
+	a := New(quickDim).Constrain(1, 0, LE(3))
+	b := New(quickDim).Constrain(2, 0, LE(5))
+	f1 := NewFederation(quickDim)
+	f1.Add(a.Clone())
+	f1.Add(b.Clone())
+	f2 := NewFederation(quickDim)
+	f2.Add(b.Clone())
+	f2.Add(a.Clone())
+	if f1.Hash() != f2.Hash() {
+		t.Fatal("federation hash must be order-insensitive")
+	}
+	if NewFederation(quickDim).Hash() != 0 {
+		t.Fatal("empty federation must hash to 0")
+	}
+	if f1.Hash() == FedFromDBM(quickDim, a.Clone()).Hash() {
+		t.Fatal("different decompositions must (generically) hash differently")
+	}
+}
+
+func TestHashNilAndEmpty(t *testing.T) {
+	var d *DBM
+	if d.Hash() != (*DBM)(nil).Hash() {
+		t.Fatal("nil hash must be stable")
+	}
+	z := New(3)
+	if z.Hash() != z.Clone().Hash() {
+		t.Fatal("clones must hash equal")
+	}
+	if z.Hash() == d.Hash() {
+		t.Fatal("a real zone must not collide with the nil sentinel")
+	}
+}
+
+// TestReleaseReuse exercises the allocator round trip: a released matrix
+// is handed out again for the same dimension with correct contents.
+func TestReleaseReuse(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		z := New(4).Constrain(1, 0, LE(i))
+		if z == nil {
+			t.Fatal("non-empty by construction")
+		}
+		want := z.Clone()
+		if !z.Equals(want) {
+			t.Fatal("clone mismatch")
+		}
+		z.Release()
+		want.Release()
+		fresh := New(4)
+		if fresh.At(1, 0) != Infinity {
+			t.Fatal("reused matrix must be fully reinitialised")
+		}
+		fresh.Release()
+	}
+}

@@ -1,0 +1,44 @@
+package dbm
+
+import "sync"
+
+// The solver churns through enormous numbers of short-lived DBMs (every
+// Constrain/Intersect/Up/Down produces one, and federation subtraction
+// splits zones into many fragments). A per-dimension free list lets the
+// hot paths recycle matrices instead of hammering the garbage collector.
+//
+// Ownership rules (see DESIGN.md, "Pooling rules"):
+//
+//   - Release may only be called on a DBM that is exclusively owned: not
+//     stored in any live federation, solver node or result.
+//   - The in-place (destructive) operations carry the same requirement.
+//   - When in doubt, do nothing: an un-released DBM is ordinary garbage
+//     and is collected as before.
+
+// maxPooledDim bounds the dimensions served by the free lists; larger
+// matrices (rare) fall back to plain allocation.
+const maxPooledDim = 64
+
+var pools [maxPooledDim + 1]sync.Pool
+
+// alloc returns an uninitialised DBM of the given dimension, reusing a
+// released matrix when one is available. Callers must overwrite every
+// entry before the DBM escapes.
+func alloc(dim int) *DBM {
+	if dim <= maxPooledDim {
+		if v := pools[dim].Get(); v != nil {
+			return v.(*DBM)
+		}
+	}
+	return &DBM{dim: dim, m: make([]Bound, dim*dim)}
+}
+
+// Release returns d to the allocator's free list for its dimension. The
+// caller must own d exclusively; using d after Release is a bug. Release
+// of nil is a no-op.
+func (d *DBM) Release() {
+	if d == nil || d.dim > maxPooledDim {
+		return
+	}
+	pools[d.dim].Put(d)
+}

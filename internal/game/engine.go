@@ -1,0 +1,277 @@
+// Parallel solve engine: a sharded, hash-interned node store plus a
+// worker pool that parallelizes forward exploration of the zone graph.
+//
+// Successor computation (the expensive, pure part: firing every edge,
+// canonicalizing zones, extrapolating) runs on Options.Workers goroutines;
+// graph wiring and the backward win-set propagation stay sequential, so
+// the engine is deterministic: the node numbering, the exploration rounds
+// and every reeval are identical for any Workers >= 2. Workers == 1
+// bypasses this file entirely and reproduces the original serial
+// schedule. See DESIGN.md for the full protocol.
+package game
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tigatest/internal/dbm"
+	"tigatest/internal/symbolic"
+)
+
+// storeShardCount is the number of independently locked shards of the node
+// store. Power of two; generous relative to typical worker counts so
+// lookups of distinct discrete states rarely contend.
+const storeShardCount = 64
+
+// storeShard is one lock stripe of the node store: an open chain from full
+// state hash to the interned nodes carrying that hash.
+type storeShard struct {
+	mu sync.Mutex
+	m  map[uint64][]*node
+}
+
+// nodeStore interns symbolic states. States that differ only in their zone
+// share a shard (the shard index is the discrete hash), which keeps each
+// discrete location vector's zones on one lock.
+type nodeStore struct {
+	shards  [storeShardCount]storeShard
+	created atomic.Int64 // nodes interned so far (registered or not)
+}
+
+func newNodeStore() *nodeStore {
+	s := &nodeStore{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64][]*node)
+	}
+	return s
+}
+
+// lookupOrAdd interns st. New nodes are created with id -1 and must be
+// numbered by registerNode on the sequential side; the boolean reports
+// whether this call created the node. Safe for concurrent use.
+func (s *solver) lookupOrAdd(st *symbolic.State) (*node, bool, error) {
+	h := st.HashKey()
+	sh := &s.store.shards[st.DiscreteHash()&(storeShardCount-1)]
+	sh.mu.Lock()
+	for _, n := range sh.m[h] {
+		if n.st.EqualTo(st) {
+			sh.mu.Unlock()
+			return n, false, nil
+		}
+	}
+	sh.mu.Unlock()
+
+	// Reserve a slot up front so the MaxNodes budget is exact even under
+	// concurrent interning (check-then-increment would let racing workers
+	// overshoot it).
+	if reserved := s.store.created.Add(1); s.opts.MaxNodes > 0 && int(reserved) > s.opts.MaxNodes {
+		s.store.created.Add(-1)
+		return nil, false, budgetNodesErr(s.opts.MaxNodes)
+	}
+	// Compute the goal federation outside the lock (formula evaluation can
+	// be expensive); double-check for a racing insert afterwards.
+	goal, err := s.nodeGoal(st)
+	if err != nil {
+		s.store.created.Add(-1)
+		return nil, false, err
+	}
+	n := &node{
+		id:      -1,
+		st:      st,
+		zoneFed: dbm.FedFromDBM(st.Zone.Dim(), st.Zone),
+		goal:    goal,
+		win:     dbm.NewFederation(st.Zone.Dim()),
+	}
+	sh.mu.Lock()
+	for _, o := range sh.m[h] {
+		if o.st.EqualTo(st) {
+			sh.mu.Unlock()
+			s.store.created.Add(-1) // lost the race; release the slot
+			return o, false, nil
+		}
+	}
+	sh.m[h] = append(sh.m[h], n)
+	sh.mu.Unlock()
+	return n, true, nil
+}
+
+// registerNode numbers an interned node and schedules it for exploration.
+// Sequential side only.
+func (s *solver) registerNode(n *node) {
+	n.id = len(s.nodes)
+	s.nodes = append(s.nodes, n)
+	s.inReeval = append(s.inReeval, false)
+	s.exploreQ = append(s.exploreQ, n.id)
+	s.stats.Nodes++
+}
+
+// workerSucc is one successor found by a worker, prior to wiring.
+type workerSucc struct {
+	trans symbolic.Transition
+	n     *node
+}
+
+// exploreTask is the per-frontier-node result of a worker.
+type exploreTask struct {
+	succs []workerSucc
+	err   error
+}
+
+// exploreBatch explores every frontier node with the worker pool, then
+// wires results into the graph in deterministic (frontier order, successor
+// order) order: new nodes are numbered on the sequential side, so node ids
+// do not depend on worker timing. Per-worker Stats are merged at the end.
+func (s *solver) exploreBatch(frontier []int) error {
+	tasks := make([]exploreTask, len(frontier))
+	workers := s.workers
+	if workers > len(frontier) {
+		workers = len(frontier)
+	}
+	var cursor atomic.Int64
+	wstats := make([]Stats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []symbolic.Succ
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(frontier) {
+					return
+				}
+				buf, tasks[i] = s.exploreOne(frontier[i], buf[:0], &wstats[w])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := range wstats {
+		s.stats.merge(wstats[w])
+	}
+
+	// Sequential wiring, in deterministic order.
+	for i, id := range frontier {
+		t := &tasks[i]
+		if t.err != nil {
+			return t.err
+		}
+		n := s.nodes[id]
+		n.explored = true
+		for _, ws := range t.succs {
+			if ws.n.id < 0 {
+				s.registerNode(ws.n)
+			}
+			n.succs = append(n.succs, succRef{trans: ws.trans, target: ws.n.id})
+			ws.n.preds = appendUnique(ws.n.preds, id)
+		}
+		s.scheduleReeval(id)
+	}
+	return nil
+}
+
+// exploreOne computes and interns the successors of one node. Worker side:
+// it must not touch s.nodes, node ids, or any sequential-side state.
+func (s *solver) exploreOne(id int, buf []symbolic.Succ, wst *Stats) ([]symbolic.Succ, exploreTask) {
+	n := s.nodes[id]
+	succs, err := s.ex.AppendSuccessors(buf, n.st)
+	if err != nil {
+		return succs, exploreTask{err: err}
+	}
+	t := exploreTask{}
+	if len(succs) > 0 {
+		t.succs = make([]workerSucc, 0, len(succs))
+	}
+	for i := range succs {
+		nn, created, err := s.lookupOrAdd(succs[i].State)
+		if err != nil {
+			return succs, exploreTask{err: err}
+		}
+		if !created {
+			// Duplicate successor: its freshly built zone is garbage
+			// (sync.Pool is safe for concurrent release).
+			succs[i].State.Zone.Release()
+		}
+		t.succs = append(t.succs, workerSucc{trans: succs[i].Trans, n: nn})
+		wst.Transitions++
+	}
+	return succs, t
+}
+
+// runParallelBackward is the Workers >= 2 Backward algorithm: phase 1
+// explores the full zone graph in parallel rounds; phase 2 is the same
+// sequential round-robin fixpoint as the serial engine.
+func (s *solver) runParallelBackward() error {
+	for len(s.exploreQ) > 0 {
+		if err := s.checkBudget(); err != nil {
+			return err
+		}
+		frontier := s.exploreQ
+		s.exploreQ = nil
+		if err := s.exploreBatch(frontier); err != nil {
+			return err
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		if err := s.checkBudget(); err != nil {
+			return err
+		}
+		for id := len(s.nodes) - 1; id >= 0; id-- {
+			grew, err := s.reeval(id)
+			if err != nil {
+				return err
+			}
+			changed = changed || grew
+		}
+	}
+	return nil
+}
+
+// runParallelOnTheFly is the Workers >= 2 on-the-fly algorithm: batched
+// rounds that alternate a full parallel exploration of the current
+// frontier with a sequential drain of the backward-propagation queue.
+// Early termination is checked after every propagation step, as in the
+// serial engine, and additionally between rounds; it fires at a slightly
+// coarser granularity than the serial schedule (a whole frontier is
+// explored at a time), which affects effort, never the answer.
+func (s *solver) runParallelOnTheFly() error {
+	for len(s.exploreQ) > 0 || len(s.reevalQ) > 0 {
+		for len(s.reevalQ) > 0 {
+			if err := s.checkBudget(); err != nil {
+				return err
+			}
+			id := s.reevalQ[0]
+			s.reevalQ = s.reevalQ[1:]
+			s.inReeval[id] = false
+			if _, err := s.reeval(id); err != nil {
+				return err
+			}
+			if s.opts.EarlyTermination && s.initialDecided() {
+				return nil
+			}
+		}
+		if len(s.exploreQ) == 0 {
+			return nil
+		}
+		if err := s.checkBudget(); err != nil {
+			return err
+		}
+		frontier := s.exploreQ
+		s.exploreQ = nil
+		if err := s.exploreBatch(frontier); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// merge folds a worker's statistics into s.
+func (s *Stats) merge(o Stats) {
+	s.Nodes += o.Nodes
+	s.Transitions += o.Transitions
+	s.Reevals += o.Reevals
+	s.Updates += o.Updates
+	if o.PeakHeapBytes > s.PeakHeapBytes {
+		s.PeakHeapBytes = o.PeakHeapBytes
+	}
+}

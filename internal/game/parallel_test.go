@@ -1,0 +1,247 @@
+package game
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tigatest/internal/dbm"
+	"tigatest/internal/models"
+	"tigatest/internal/symbolic"
+	"tigatest/internal/tctl"
+)
+
+// stateKey renders a symbolic state as a comparison key so nodes from two
+// independent solves can be matched regardless of node numbering.
+func stateKey(st *symbolic.State) string {
+	return fmt.Sprintf("%v|%v|%x", st.Locs, st.Vars, st.Zone.Hash())
+}
+
+// winByState maps every node's symbolic state to its win federation.
+func winByState(t *testing.T, res *Result) map[string]*dbm.Federation {
+	t.Helper()
+	m := make(map[string]*dbm.Federation, len(res.debugNodes))
+	for _, n := range res.debugNodes {
+		k := stateKey(n.st)
+		if _, dup := m[k]; dup {
+			t.Fatalf("duplicate symbolic state in node store: %s", k)
+		}
+		m[k] = n.win
+	}
+	return m
+}
+
+// fedsEquivalent compares two win federations semantically. Equals is
+// always the deciding check — the order-insensitive sum in
+// Federation.Hash could in principle collide on genuinely different
+// sets, so it must not shortcut an agreement test (it is still asserted
+// as an exact-decomposition fingerprint in TestParallelDeterministic).
+func fedsEquivalent(a, b *dbm.Federation) bool {
+	return a.Equals(b)
+}
+
+// checkParallelAgreement solves the same game with the serial engine
+// (Workers 1) and the parallel engine (Workers 8) under both algorithms
+// and asserts identical winnability, state spaces and per-node winning
+// federations.
+func checkParallelAgreement(t *testing.T, env *tctl.ParseEnv, src string) {
+	t.Helper()
+	f := tctl.MustParse(env, src)
+	for _, alg := range []Algorithm{OnTheFly, Backward} {
+		serial, err := Solve(env.Sys, f, Options{Algorithm: alg, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s serial: %v", alg, err)
+		}
+		par, err := Solve(env.Sys, f, Options{Algorithm: alg, Workers: 8})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", alg, err)
+		}
+		if serial.Winnable != par.Winnable {
+			t.Fatalf("%s %q: serial winnable=%v, parallel winnable=%v", alg, src, serial.Winnable, par.Winnable)
+		}
+		if serial.Stats.Nodes != par.Stats.Nodes {
+			t.Errorf("%s %q: serial explored %d states, parallel %d", alg, src, serial.Stats.Nodes, par.Stats.Nodes)
+		}
+		sw, pw := winByState(t, serial), winByState(t, par)
+		if len(sw) != len(pw) {
+			t.Fatalf("%s %q: state spaces differ: %d vs %d", alg, src, len(sw), len(pw))
+		}
+		for k, sf := range sw {
+			pf, ok := pw[k]
+			if !ok {
+				t.Fatalf("%s %q: state %s missing from parallel solve", alg, src, k)
+			}
+			if !fedsEquivalent(sf, pf) {
+				t.Errorf("%s %q: win sets differ at %s:\n  serial:   %s\n  parallel: %s", alg, src, k, sf, pf)
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerialSmartLight(t *testing.T) {
+	checkParallelAgreement(t, models.SmartLightEnv(models.SmartLight()), models.SmartLightGoal)
+}
+
+func TestParallelMatchesSerialLEP(t *testing.T) {
+	sys := models.LEP(models.LEPOptions{Nodes: 3})
+	env := models.LEPEnv(sys, 3)
+	for _, src := range []string{models.LEPTP1, models.LEPTP2} {
+		checkParallelAgreement(t, env, src)
+	}
+}
+
+func TestParallelMatchesSerialTrainGate(t *testing.T) {
+	env := models.TrainGateEnv(models.TrainGate())
+	for _, src := range []string{
+		"control: A<> Gate.Closed",                       // reachability, winnable
+		"control: A[] not Train.Crossing or Gate.Closed", // safety dual, winnable
+		"control: A<> Train.Crossing and Gate.Closed",    // not winnable
+	} {
+		checkParallelAgreement(t, env, src)
+	}
+}
+
+// TestParallelMatchesSerialLEP4 runs the benchmark-sized LEP instance
+// (n=4, TP2) through both engines. This size caught a real bug during
+// development — a zone shared with a node store entry was returned to the
+// allocator and corrupted the state interning — that the n=3 games were
+// too small to expose, so it stays pinned here (on-the-fly only; the
+// backward fixpoint on this instance is disproportionately slow).
+func TestParallelMatchesSerialLEP4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LEP n=4 takes a second")
+	}
+	sys := models.LEP(models.LEPOptions{Nodes: 4})
+	f := tctl.MustParse(models.LEPEnv(sys, 4), models.LEPTP2)
+	serial, err := Solve(sys, f, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Solve(sys, f, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Winnable != par.Winnable || serial.Stats.Nodes != par.Stats.Nodes {
+		t.Fatalf("engines disagree: serial %v/%d states, parallel %v/%d states",
+			serial.Winnable, serial.Stats.Nodes, par.Winnable, par.Stats.Nodes)
+	}
+	sw, pw := winByState(t, serial), winByState(t, par)
+	for k, sf := range sw {
+		if pf, ok := pw[k]; !ok || !fedsEquivalent(sf, pf) {
+			t.Fatalf("win set mismatch at %s", k)
+		}
+	}
+}
+
+// TestParallelDeterministic pins the stronger property the engine is
+// designed for: any two parallel worker counts produce the same node
+// numbering and bit-identical win decompositions (not merely semantically
+// equal sets), because wiring and propagation are sequential.
+func TestParallelDeterministic(t *testing.T) {
+	sys := models.LEP(models.LEPOptions{Nodes: 3})
+	f := tctl.MustParse(models.LEPEnv(sys, 3), models.LEPTP2)
+	a, err := Solve(sys, f, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(sys, f, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.debugNodes) != len(b.debugNodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(a.debugNodes), len(b.debugNodes))
+	}
+	for i := range a.debugNodes {
+		na, nb := a.debugNodes[i], b.debugNodes[i]
+		if !na.st.EqualTo(nb.st) {
+			t.Fatalf("node %d holds different states across worker counts", i)
+		}
+		if na.win.Hash() != nb.win.Hash() {
+			t.Fatalf("node %d win decompositions differ across worker counts", i)
+		}
+	}
+}
+
+// TestParallelStrategySimulation runs strategies synthesized by the
+// parallel engine through the adversarial concrete-semantics simulator the
+// serial strategies are validated with.
+func TestParallelStrategySimulation(t *testing.T) {
+	cases := []struct {
+		name string
+		env  *tctl.ParseEnv
+		src  string
+	}{
+		{"smartlight", models.SmartLightEnv(models.SmartLight()), models.SmartLightGoal},
+		{"traingate", models.TrainGateEnv(models.TrainGate()), "control: A<> Gate.Closed"},
+	}
+	{
+		sys := models.LEP(models.LEPOptions{Nodes: 3})
+		cases = append(cases, struct {
+			name string
+			env  *tctl.ParseEnv
+			src  string
+		}{"lep3-TP1", models.LEPEnv(sys, 3), models.LEPTP1})
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Solve(c.env.Sys, tctl.MustParse(c.env, c.src), Options{Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Winnable || res.Strategy == nil {
+				t.Fatalf("%s must be winnable with a strategy", c.src)
+			}
+			for run := 0; run < 10; run++ {
+				sim := newSimulator(t, res.Strategy, int64(1000+run))
+				if !sim.run(400) {
+					t.Fatalf("run %d: parallel-engine strategy lost the game\ntrace: %s", run, sim.trace.String())
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRandomGames cross-checks the two engines' winnability answer
+// over a pile of small random games, including early termination.
+func TestParallelRandomGames(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	goal := "control: A<> P.C"
+	for iter := 0; iter < 60; iter++ {
+		s := randomGame(rng)
+		f := tctl.MustParse(mkEnv(s), goal)
+		serial, err1 := Solve(s, f, Options{Workers: 1, MaxNodes: 4000})
+		par, err2 := Solve(s, f, Options{Workers: 4, MaxNodes: 4000})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("iter %d: err1=%v err2=%v", iter, err1, err2)
+		}
+		if serial.Winnable != par.Winnable {
+			t.Fatalf("iter %d: serial=%v parallel=%v", iter, serial.Winnable, par.Winnable)
+		}
+		early, err3 := Solve(s, f, Options{Workers: 4, MaxNodes: 4000, EarlyTermination: true})
+		if err3 != nil {
+			t.Fatalf("iter %d: early: %v", iter, err3)
+		}
+		if early.Winnable != serial.Winnable {
+			t.Fatalf("iter %d: early parallel=%v serial=%v", iter, early.Winnable, serial.Winnable)
+		}
+	}
+}
+
+// TestWorkersDefault asserts that a zero Workers option solves (using all
+// cores) and agrees with the serial engine.
+func TestWorkersDefault(t *testing.T) {
+	sys := models.SmartLight()
+	f := tctl.MustParse(models.SmartLightEnv(sys), models.SmartLightGoal)
+	def, err := Solve(sys, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Solve(sys, f, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Winnable != one.Winnable || def.Stats.Nodes != one.Stats.Nodes {
+		t.Fatalf("default workers disagrees with serial: %v/%d vs %v/%d",
+			def.Winnable, def.Stats.Nodes, one.Winnable, one.Stats.Nodes)
+	}
+}

@@ -71,6 +71,11 @@ type Options struct {
 	// DisableExtrapolation turns off max-constant extrapolation (ablation;
 	// termination is then only guaranteed for bounded models).
 	DisableExtrapolation bool
+	// Workers sets the number of goroutines that explore the zone graph in
+	// parallel (0 = runtime.GOMAXPROCS(0)). Workers == 1 runs the original
+	// serial schedule; Workers >= 2 uses the batched parallel engine (see
+	// engine.go), which computes the same winning sets deterministically.
+	Workers int
 }
 
 // ErrBudget reports that the memory or time budget was exhausted, the
@@ -131,12 +136,13 @@ type solver struct {
 	opts    Options
 	ex      *symbolic.Explorer
 
-	nodes  []*node
-	index  map[string]int // full symbolic key -> node id
-	stamp  int
-	stats  Stats
-	t0     time.Time
-	safety bool // solving the safety dual (win federations hold LOSING sets)
+	nodes   []*node
+	store   *nodeStore // hash-interned symbolic states, sharded by discrete hash
+	workers int
+	stamp   int
+	stats   Stats
+	t0      time.Time
+	safety  bool // solving the safety dual (win federations hold LOSING sets)
 
 	exploreQ []int
 	reevalQ  []int
@@ -153,9 +159,13 @@ func Solve(sys *model.System, formula *tctl.Formula, opts Options) (*Result, err
 		sys:     sys,
 		formula: formula,
 		opts:    opts,
-		index:   map[string]int{},
+		store:   newNodeStore(),
+		workers: opts.Workers,
 		t0:      time.Now(),
 		safety:  formula.Objective == tctl.Safety,
+	}
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
 	}
 	s.ex = symbolic.NewExplorer(sys, formula.ClockConstraints())
 	if opts.DisableExtrapolation {
@@ -209,31 +219,21 @@ func (r *Result) DebugNodeLabel(sys *model.System, id int) string {
 	return fmt.Sprintf("node %d %s vars=%v zone=%s", id, sys.LocationString(n.st.Locs), n.st.Vars, n.st.Zone)
 }
 
-// addNode registers a symbolic state, returning its node id.
+// budgetNodesErr reports the MaxNodes budget as exhausted.
+func budgetNodesErr(max int) error {
+	return fmt.Errorf("%w: more than %d symbolic states", ErrBudget, max)
+}
+
+// addNode interns a symbolic state and registers it immediately, returning
+// its node id. Sequential (serial-engine) path.
 func (s *solver) addNode(st *symbolic.State) (int, error) {
-	key := st.Key()
-	if id, ok := s.index[key]; ok {
-		return id, nil
-	}
-	if s.opts.MaxNodes > 0 && len(s.nodes) >= s.opts.MaxNodes {
-		return 0, fmt.Errorf("%w: more than %d symbolic states", ErrBudget, s.opts.MaxNodes)
-	}
-	goal, err := s.nodeGoal(st)
+	n, created, err := s.lookupOrAdd(st)
 	if err != nil {
 		return 0, err
 	}
-	n := &node{
-		id:      len(s.nodes),
-		st:      st,
-		zoneFed: dbm.FedFromDBM(st.Zone.Dim(), st.Zone.Clone()),
-		goal:    goal,
-		win:     dbm.NewFederation(st.Zone.Dim()),
+	if created {
+		s.registerNode(n)
 	}
-	s.nodes = append(s.nodes, n)
-	s.index[key] = n.id
-	s.inReeval = append(s.inReeval, false)
-	s.exploreQ = append(s.exploreQ, n.id)
-	s.stats.Nodes++
 	return n.id, nil
 }
 
@@ -245,13 +245,22 @@ func (s *solver) nodeGoal(st *symbolic.State) (*dbm.Federation, error) {
 		return nil, err
 	}
 	if s.safety {
-		return dbm.FedFromDBM(st.Zone.Dim(), st.Zone.Clone()).Subtract(fed), nil
+		loss := dbm.FedFromDBM(st.Zone.Dim(), st.Zone.Clone())
+		loss.SubtractInPlace(fed)
+		fed.Release() // GoalFed output is freshly built, never shared
+		return loss, nil
 	}
 	return fed, nil
 }
 
 // run drives the work queues to exhaustion (or early termination/budget).
 func (s *solver) run() error {
+	if s.workers > 1 {
+		if s.opts.Algorithm == Backward {
+			return s.runParallelBackward()
+		}
+		return s.runParallelOnTheFly()
+	}
 	if s.opts.Algorithm == Backward {
 		// Phase 1: full forward exploration.
 		for len(s.exploreQ) > 0 {
@@ -328,12 +337,17 @@ func (s *solver) explore(id int) error {
 		return err
 	}
 	for _, sc := range succs {
-		tid, err := s.addNode(sc.State)
+		t, created, err := s.lookupOrAdd(sc.State)
 		if err != nil {
 			return err
 		}
-		n.succs = append(n.succs, succRef{trans: sc.Trans, target: tid})
-		t := s.nodes[tid]
+		if created {
+			s.registerNode(t)
+		} else {
+			// Duplicate successor: its freshly built zone is garbage.
+			sc.State.Zone.Release()
+		}
+		n.succs = append(n.succs, succRef{trans: sc.Trans, target: t.id})
 		t.preds = appendUnique(t.preds, id)
 		s.stats.Transitions++
 	}
@@ -382,7 +396,10 @@ func (s *solver) reeval(id int) (bool, error) {
 	s.stats.Reevals++
 
 	dim := s.sys.NumClocks()
-	good := n.goal.Clone()
+	// good shares zone pointers with n.goal and n.win — PredT never mutates
+	// its inputs, so the former deep clone per reeval is unnecessary.
+	good := dbm.NewFederation(dim)
+	good.Union(n.goal)
 	good.Union(n.win)
 	bad := dbm.NewFederation(dim)
 
@@ -391,13 +408,24 @@ func (s *solver) reeval(id int) (bool, error) {
 		t := s.nodes[sc.target]
 		if s.controllableInGame(&sc.trans) {
 			if !t.win.IsEmpty() {
-				good.Union(s.ex.PredThroughEdge(n.st, &sc.trans, t.win))
+				p := s.ex.PredThroughEdge(n.st, &sc.trans, t.win)
+				good.Union(p)
+				p.Recycle()
 			}
+		} else if t.win.IsEmpty() {
+			// Nothing won at the target yet: the whole zone is losing, and
+			// PredThroughEdge only reads its target, so no clone is needed.
+			p := s.ex.PredThroughEdge(n.st, &sc.trans, t.zoneFed)
+			bad.Union(p)
+			p.Recycle()
 		} else {
 			loseFed := t.zoneFed.Subtract(t.win)
 			if !loseFed.IsEmpty() {
-				bad.Union(s.ex.PredThroughEdge(n.st, &sc.trans, loseFed))
+				p := s.ex.PredThroughEdge(n.st, &sc.trans, loseFed)
+				bad.Union(p)
+				p.Recycle()
 			}
+			loseFed.Release() // PredThroughEdge clones what it keeps
 		}
 	}
 
@@ -407,26 +435,43 @@ func (s *solver) reeval(id int) (bool, error) {
 	// leads into the winning set are therefore good.
 	if forced := s.forcedGood(n); forced != nil {
 		good.Union(forced)
+		forced.Recycle()
 	}
 
 	// Goal states are absorbing: reaching φ wins immediately, so the
 	// trajectory only needs to avoid Bad∖φ, and φ∩Z is winning outright.
-	badEff := bad.Subtract(n.goal)
-	w := dbm.PredT(good, badEff)
-	w = w.Intersect(n.zoneFed)
+	// bad exclusively owns its zones (fresh out of PredThroughEdge), so the
+	// subtraction can consume it.
+	bad.SubtractInPlace(n.goal)
+	w := dbm.PredT(good, bad)
+	bad.Release()
+	good.Recycle() // zones shared with n.goal/n.win or already transferred
+	wz := w.Intersect(n.zoneFed)
+	w.Release()
+	w = wz
 	w.Union(n.goal)
 
-	delta := w.Subtract(n.win)
+	var delta *dbm.Federation
+	if n.win.IsEmpty() {
+		// First growth of this node: w as a whole is the delta.
+		delta = w
+	} else {
+		delta = w.Subtract(n.win)
+		w.Recycle() // w's zones are shared with n.goal or superseded
+	}
 	if delta.IsEmpty() {
+		delta.Recycle()
 		return false, nil
 	}
 	s.stamp++
 	s.stats.Updates++
 	n.deltas = append(n.deltas, winDelta{fed: delta, stamp: s.stamp})
 	n.win.Union(delta)
-	if n.zoneFed.Subtract(n.win).IsEmpty() {
+	rest := n.zoneFed.Subtract(n.win)
+	if rest.IsEmpty() {
 		n.full = true
 	}
+	rest.Release()
 	for _, p := range n.preds {
 		s.scheduleReeval(p)
 	}
@@ -452,13 +497,19 @@ func (s *solver) forcedGood(n *node) *dbm.Federation {
 	dim := s.sys.NumClocks()
 	var boundary *dbm.Federation
 	if s.sys.IsUrgent(n.st.Locs) {
-		// Urgent/committed locations block time everywhere.
-		boundary = n.zoneFed.Clone()
+		// Urgent/committed locations block time everywhere. Intersect and
+		// Subtract below never mutate, so sharing the node's federation is
+		// safe.
+		boundary = n.zoneFed
 	} else {
 		interior := n.st.Zone.DelayableInterior()
 		boundary = dbm.SubtractDBM(n.st.Zone, interior)
+		interior.Release()
 	}
 	if boundary.IsEmpty() {
+		if boundary != n.zoneFed {
+			boundary.Recycle()
+		}
 		return nil
 	}
 	someWin := dbm.NewFederation(dim)
@@ -481,13 +532,28 @@ func (s *solver) forcedGood(n *node) *dbm.Federation {
 		}
 		enabledFed := dbm.FedFromDBM(dim, enabled)
 		p := s.ex.PredThroughEdge(n.st, &sc.trans, t.win)
+		esc := enabledFed.Subtract(p)
+		enabledFed.Recycle() // its zone may be the node's own; wrapper only
 		someWin.Union(p)
-		someEscape.Union(enabledFed.Subtract(p))
+		p.Recycle()
+		someEscape.Union(esc)
+		esc.Recycle()
+	}
+	cleanup := func() {
+		if boundary != n.zoneFed {
+			boundary.Release()
+		}
+		someWin.Release()
+		someEscape.Release()
 	}
 	if someWin.IsEmpty() {
+		cleanup()
 		return nil
 	}
-	return boundary.Intersect(someWin).Subtract(someEscape)
+	forced := boundary.Intersect(someWin)
+	forced.SubtractInPlace(someEscape)
+	cleanup()
+	return forced
 }
 
 // checkBudget samples the heap and enforces budgets.

@@ -7,7 +7,6 @@ package symbolic
 
 import (
 	"fmt"
-	"strings"
 
 	"tigatest/internal/dbm"
 	"tigatest/internal/expr"
@@ -21,25 +20,51 @@ type State struct {
 	Zone *dbm.DBM
 }
 
-// DiscreteKey identifies the discrete part (locations + variables).
-func (s *State) DiscreteKey() string {
-	var sb strings.Builder
+// FNV-1a parameters, matching the zone hash in package dbm.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// DiscreteHash returns a 64-bit hash of the discrete part (locations and
+// variables). The solver uses it to shard its node store, so states that
+// differ only in their zone land in the same shard.
+func (s *State) DiscreteHash() uint64 {
+	h := fnvOffset64
 	for _, l := range s.Locs {
-		sb.WriteByte(byte(l))
-		sb.WriteByte(byte(l >> 8))
+		h = (h ^ uint64(uint32(l))) * fnvPrime64
 	}
-	sb.WriteByte(0xff)
+	h = (h ^ 0xff) * fnvPrime64
 	for _, v := range s.Vars {
-		sb.WriteByte(byte(v))
-		sb.WriteByte(byte(v >> 8))
-		sb.WriteByte(byte(v >> 16))
-		sb.WriteByte(byte(v >> 24))
+		h = (h ^ uint64(uint32(v))) * fnvPrime64
 	}
-	return sb.String()
+	return h
 }
 
-// Key identifies the full symbolic state.
-func (s *State) Key() string { return s.DiscreteKey() + "|" + s.Zone.Key() }
+// HashKey returns a 64-bit hash of the full symbolic state (discrete part
+// and zone). Equal states hash equal; the solver resolves the rare
+// collisions with EqualTo, so no string keys are ever materialized.
+func (s *State) HashKey() uint64 {
+	return (s.DiscreteHash() ^ s.Zone.Hash()) * fnvPrime64
+}
+
+// EqualTo reports full symbolic-state equality (discrete part and zone).
+func (s *State) EqualTo(o *State) bool {
+	if len(s.Locs) != len(o.Locs) || len(s.Vars) != len(o.Vars) {
+		return false
+	}
+	for i := range s.Locs {
+		if s.Locs[i] != o.Locs[i] {
+			return false
+		}
+	}
+	for i := range s.Vars {
+		if s.Vars[i] != o.Vars[i] {
+			return false
+		}
+	}
+	return s.Zone.Equals(o.Zone)
+}
 
 // String renders the state for diagnostics.
 func (s *State) String() string {
@@ -64,19 +89,37 @@ type Succ struct {
 	State *State
 }
 
-// Explorer computes initial states and successors for a system.
+// Explorer computes initial states and successors for a system. An
+// Explorer is immutable after construction and safe for concurrent use by
+// multiple solver workers.
 type Explorer struct {
 	Sys *model.System
 	// Max holds per-clock extrapolation constants (from the system plus the
 	// test purpose). Nil disables extrapolation (ablation switch; the zone
 	// graph may then be infinite).
 	Max []int
+
+	// tauLabels caches the display label of every internal edge, indexed
+	// by process and edge, so firing a transition allocates no strings.
+	tauLabels [][]string
 }
 
 // NewExplorer builds an explorer with extrapolation constants covering the
 // system and the given extra constraints (e.g. the formula's clock atoms).
 func NewExplorer(sys *model.System, extra []model.ClockConstraint) *Explorer {
-	return &Explorer{Sys: sys, Max: sys.MaxConstants(extra)}
+	ex := &Explorer{Sys: sys, Max: sys.MaxConstants(extra)}
+	ex.tauLabels = make([][]string, len(sys.Procs))
+	for pi := range sys.Procs {
+		p := sys.Procs[pi]
+		ex.tauLabels[pi] = make([]string, len(p.Edges))
+		for ei := range p.Edges {
+			e := &p.Edges[ei]
+			if e.Dir == model.NoSync {
+				ex.tauLabels[pi][ei] = fmt.Sprintf("tau(%s)", sys.EdgeLabel(e))
+			}
+		}
+	}
+	return ex
 }
 
 // Initial returns the initial symbolic state: all processes in their
@@ -116,11 +159,34 @@ func (ex *Explorer) delayClose(z *dbm.DBM, locs []int) *dbm.DBM {
 	return z
 }
 
+// applyInvariantInPlace conjoins every location invariant into z in place,
+// reporting whether z stays non-empty.
+func (ex *Explorer) applyInvariantInPlace(z *dbm.DBM, locs []int) bool {
+	for pi, li := range locs {
+		for _, c := range ex.Sys.Procs[pi].Locations[li].Invariant {
+			if !z.ConstrainInPlace(c.I, c.J, c.Bound) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Successors enumerates all discrete successors of s.
 func (ex *Explorer) Successors(s *State) ([]Succ, error) {
+	return ex.AppendSuccessors(nil, s)
+}
+
+// AppendSuccessors appends all discrete successors of s to dst and returns
+// the extended slice, so callers exploring many states can reuse one
+// buffer instead of allocating per state.
+func (ex *Explorer) AppendSuccessors(dst []Succ, s *State) ([]Succ, error) {
 	sys := ex.Sys
-	var out []Succ
+	out := dst
 	committed := sys.IsCommitted(s.Locs)
+	// One scratch edge list serves every fire attempt; fire copies it only
+	// for enabled transitions, so disabled attempts allocate nothing.
+	scratch := make([]*model.Edge, 0, 2)
 
 	// Internal edges.
 	for pi, p := range sys.Procs {
@@ -135,8 +201,8 @@ func (ex *Explorer) Successors(s *State) ([]Succ, error) {
 			succ, err := ex.fire(s, Transition{
 				Kind:  e.Kind,
 				Chan:  -1,
-				Edges: []*model.Edge{e},
-				Label: fmt.Sprintf("tau(%s)", sys.EdgeLabel(e)),
+				Edges: append(scratch[:0], e),
+				Label: ex.tauLabels[pi][ei],
 			})
 			if err != nil {
 				return nil, err
@@ -169,7 +235,7 @@ func (ex *Explorer) Successors(s *State) ([]Succ, error) {
 					succ, err := ex.fire(s, Transition{
 						Kind:  sys.Channels[e.Chan].Kind,
 						Chan:  e.Chan,
-						Edges: []*model.Edge{e, f},
+						Edges: append(scratch[:0], e, f),
 						Label: sys.Channels[e.Chan].Name,
 					})
 					if err != nil {
@@ -201,12 +267,15 @@ func (ex *Explorer) fire(s *State, t Transition) (*Succ, error) {
 		}
 	}
 
-	// Clock guards.
-	z := s.Zone
+	// Clock guards, applied to one owned scratch zone that becomes the
+	// successor's zone; every further step mutates it in place.
+	z := s.Zone.Clone()
 	for _, e := range t.Edges {
-		z = model.ConstrainZone(z, e.Guard.Clocks)
-		if z == nil {
-			return nil, nil
+		for _, c := range e.Guard.Clocks {
+			if !z.ConstrainInPlace(c.I, c.J, c.Bound) {
+				z.Release()
+				return nil, nil
+			}
 		}
 	}
 
@@ -220,6 +289,7 @@ func (ex *Explorer) fire(s *State, t Transition) (*Succ, error) {
 	vctx := &expr.Ctx{Tbl: sys.Vars, Env: vars}
 	for _, e := range t.Edges {
 		if err := expr.ApplyAll(vctx, e.Assigns); err != nil {
+			z.Release()
 			return nil, fmt.Errorf("symbolic: update of %s: %w", sys.EdgeLabel(e), err)
 		}
 	}
@@ -227,19 +297,28 @@ func (ex *Explorer) fire(s *State, t Transition) (*Succ, error) {
 	// Clock resets.
 	for _, e := range t.Edges {
 		for _, r := range e.Resets {
-			z = z.Reset(r.Clock, r.Value)
+			z.ResetInPlace(r.Clock, r.Value)
 		}
 	}
 
 	// Target invariant, then delay closure.
-	z = sys.ApplyInvariant(z, locs)
-	if z == nil {
+	if !ex.applyInvariantInPlace(z, locs) {
+		z.Release()
 		return nil, nil
 	}
-	z = ex.delayClose(z, locs)
-	if z == nil {
-		return nil, nil
+	if !ex.Sys.IsUrgent(locs) {
+		z.UpInPlace()
+		if !ex.applyInvariantInPlace(z, locs) {
+			z.Release()
+			return nil, nil
+		}
 	}
+	if ex.Max != nil {
+		z.ExtrapolateInPlace(ex.Max)
+	}
+	// The transition is enabled and will be retained: unshare the caller's
+	// scratch edge list.
+	t.Edges = append([]*model.Edge(nil), t.Edges...)
 	return &Succ{Trans: t, State: &State{Locs: locs, Vars: vars, Zone: z}}, nil
 }
 
@@ -256,12 +335,14 @@ func (ex *Explorer) PredThroughEdge(src *State, t *Transition, target *dbm.Feder
 		return out
 	}
 
-	// Guard zone within the source.
-	gz := src.Zone
+	// Guard zone within the source, built on one owned scratch zone.
+	gz := src.Zone.Clone()
 	for _, e := range t.Edges {
-		gz = model.ConstrainZone(gz, e.Guard.Clocks)
-		if gz == nil {
-			return out
+		for _, c := range e.Guard.Clocks {
+			if !gz.ConstrainInPlace(c.I, c.J, c.Bound) {
+				gz.Release()
+				return out
+			}
 		}
 	}
 
@@ -275,29 +356,29 @@ func (ex *Explorer) PredThroughEdge(src *State, t *Transition, target *dbm.Feder
 	}
 
 	for _, w := range target.Zones() {
-		wz := w
 		// Constrain target to the reset values, then free those clocks to
-		// recover the pre-reset valuations.
+		// recover the pre-reset valuations — all on one owned scratch zone.
+		wz := w.Clone()
 		ok := true
 		for c, v := range resets {
-			wz = wz.Constrain(c, 0, dbm.LE(v))
-			if wz == nil {
-				ok = false
-				break
-			}
-			wz = wz.Constrain(0, c, dbm.LE(-v))
-			if wz == nil {
+			if !wz.ConstrainInPlace(c, 0, dbm.LE(v)) || !wz.ConstrainInPlace(0, c, dbm.LE(-v)) {
 				ok = false
 				break
 			}
 		}
 		if !ok {
+			wz.Release()
 			continue
 		}
 		for c := range resets {
-			wz = wz.Free(c)
+			wz.FreeInPlace(c)
 		}
-		out.Add(wz.Intersect(gz))
+		if wz.IntersectInPlace(gz) {
+			out.Add(wz)
+		} else {
+			wz.Release()
+		}
 	}
+	gz.Release()
 	return out
 }

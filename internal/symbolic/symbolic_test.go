@@ -117,11 +117,17 @@ func TestKeysDistinguishStates(t *testing.T) {
 	ex := NewExplorer(s, nil)
 	init, _ := ex.Initial()
 	succs, _ := ex.Successors(init)
-	if init.Key() == succs[0].State.Key() {
-		t.Fatal("different states must have different keys")
+	if init.EqualTo(succs[0].State) {
+		t.Fatal("different states must not compare equal")
 	}
-	if init.DiscreteKey() == succs[0].State.DiscreteKey() {
-		t.Fatal("different locations must differ in discrete key")
+	if init.HashKey() == succs[0].State.HashKey() {
+		t.Fatal("different states must have different hash keys")
+	}
+	if init.DiscreteHash() == succs[0].State.DiscreteHash() {
+		t.Fatal("different locations must differ in discrete hash")
+	}
+	if !init.EqualTo(init) || init.HashKey() != init.HashKey() {
+		t.Fatal("a state must equal itself with a stable hash")
 	}
 }
 
@@ -139,10 +145,10 @@ func TestExtrapolationBoundsZoneGraph(t *testing.T) {
 		Guard: model.Guard{Clocks: []model.ClockConstraint{model.GE(x, 3)}}})
 
 	ex := NewExplorer(s, nil)
-	seen := map[string]bool{}
+	seen := map[uint64]bool{}
 	st, _ := ex.Initial()
 	frontier := []*State{st}
-	seen[st.Key()] = true
+	seen[st.HashKey()] = true
 	for steps := 0; len(frontier) > 0 && steps < 1000; steps++ {
 		next := frontier[0]
 		frontier = frontier[1:]
@@ -151,8 +157,8 @@ func TestExtrapolationBoundsZoneGraph(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, sc := range succs {
-			if !seen[sc.State.Key()] {
-				seen[sc.State.Key()] = true
+			if !seen[sc.State.HashKey()] {
+				seen[sc.State.HashKey()] = true
 				frontier = append(frontier, sc.State)
 			}
 		}

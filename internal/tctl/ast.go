@@ -125,7 +125,12 @@ func (p *PAnd) fed(ev *evalCtx, z *dbm.DBM) (*dbm.Federation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return l.Intersect(r), nil
+	// Every federation in this evaluator is freshly built from clones of z,
+	// so the operands can be recycled once combined.
+	out := l.Intersect(r)
+	l.Release()
+	r.Release()
+	return out, nil
 }
 
 // POr is disjunction.
@@ -142,7 +147,8 @@ func (p *POr) fed(ev *evalCtx, z *dbm.DBM) (*dbm.Federation, error) {
 	if err != nil {
 		return nil, err
 	}
-	l.Union(r)
+	l.Union(r) // r's zones transfer into l
+	r.Recycle()
 	return l, nil
 }
 
@@ -156,7 +162,10 @@ func (p *PNot) fed(ev *evalCtx, z *dbm.DBM) (*dbm.Federation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return dbm.FedFromDBM(z.Dim(), z.Clone()).Subtract(sub), nil
+	out := dbm.FedFromDBM(z.Dim(), z.Clone())
+	out.SubtractInPlace(sub)
+	sub.Release()
+	return out, nil
 }
 
 // PQuant is a bounded quantifier over an integer range; the body may mix
@@ -201,12 +210,16 @@ func (p *PQuant) fed(ev *evalCtx, z *dbm.DBM) (*dbm.Federation, error) {
 			return nil, err
 		}
 		if p.ForAll {
-			acc = acc.Intersect(sub)
+			next := acc.Intersect(sub)
+			acc.Release()
+			sub.Release()
+			acc = next
 			if acc.IsEmpty() {
 				break
 			}
 		} else {
-			acc.Union(sub)
+			acc.Union(sub) // sub's zones transfer into acc
+			sub.Recycle()
 		}
 	}
 	return acc, nil
