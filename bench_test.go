@@ -188,6 +188,55 @@ func BenchmarkSolverParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkPropagation measures the SCC-condensed parallel propagation
+// engine (DESIGN.md E6) on the paper's propagation-bound Table 1 cells:
+// LEP TP2/TP3 at n=4..6, full synthesis pipeline (on-the-fly, early
+// termination), serial baseline (workers=1) versus the parallel engine at
+// workers=4. Cells that exhaust the per-cell budget skip — the analogue of
+// Table 1's "/" entries; the n=6 serial cells are expected to skip, since
+// the SCC engine is what brought that row inside the budget. CI runs the
+// TP2 n=4..5 cells as a timed serial-vs-parallel comparison and archives
+// the result as BENCH_propagation.json (see cmd/benchjson).
+func BenchmarkPropagation(b *testing.B) {
+	purposes := []struct {
+		name, src string
+	}{
+		{"TP2", models.LEPTP2},
+		{"TP3", models.LEPTP3},
+	}
+	for _, tp := range purposes {
+		for _, n := range []int{4, 5, 6} {
+			for _, w := range []int{1, 4} {
+				b.Run(fmt.Sprintf("%s/n=%d/workers=%d", tp.name, n, w), func(b *testing.B) {
+					sys := models.LEP(models.LEPOptions{Nodes: n})
+					f := tctl.MustParse(models.LEPEnv(sys, n), tp.src)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res, err := game.Solve(sys, f, game.Options{
+							EarlyTermination: true,
+							TimeBudget:       table1Budget,
+							Workers:          w,
+						})
+						if errors.Is(err, game.ErrBudget) {
+							b.Skipf("budget exhausted (a '/' cell at workers=%d): %v", w, err)
+						}
+						if err != nil {
+							b.Fatalf("solve: %v", err)
+						}
+						if !res.Winnable {
+							b.Fatal("all LEP test purposes are winnable")
+						}
+						b.ReportMetric(float64(res.Stats.Nodes), "states")
+						b.ReportMetric(float64(res.Stats.SCCs), "sccs")
+						b.ReportMetric(float64(res.Stats.CrossSCCMessages), "xmsgs")
+					}
+				})
+			}
+		}
+	}
+}
+
 func BenchmarkFederationReduction(b *testing.B) {
 	sys := models.SmartLight()
 	f := tctl.MustParse(models.SmartLightEnv(sys), models.SmartLightGoal)

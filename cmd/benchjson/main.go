@@ -1,0 +1,183 @@
+// Command benchjson converts `go test -bench` output into a JSON summary,
+// computing serial-vs-parallel speedups for benchmark families that sweep
+// a .../workers=N suffix (BenchmarkSolverParallel, BenchmarkPropagation).
+// The input text is the benchstat-compatible record; the JSON is the
+// machine-readable digest CI archives next to it.
+//
+// Usage:
+//
+//	go test -run - -bench BenchmarkPropagation . | benchjson -out BENCH_propagation.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine is one benchmark result: the name (with the -GOMAXPROCS suffix
+// stripped), iteration count, and every reported metric keyed by unit.
+type benchLine struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// speedup compares one workers=N cell against the workers=1 cell of the
+// same benchmark family.
+type speedup struct {
+	Cell    string  `json:"cell"`
+	Workers int     `json:"workers"`
+	Speedup float64 `json:"speedup"` // ns/op(workers=1) / ns/op(workers=N)
+}
+
+type report struct {
+	Benchmarks []benchLine `json:"benchmarks"`
+	Speedups   []speedup   `json:"speedups,omitempty"`
+	Raw        []string    `json:"raw"` // the benchstat-compatible lines
+}
+
+var benchRe = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+var workersRe = regexp.MustCompile(`^(.*)/workers=(\d+)$`)
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "JSON output file (default stdout)")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail unless every cell with workers>1 reaches this speedup over workers=1 (0 = report only)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	rep, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(data)
+	}
+
+	for _, sp := range rep.Speedups {
+		fmt.Fprintf(os.Stderr, "%s: workers=%d is %.2fx workers=1\n", sp.Cell, sp.Workers, sp.Speedup)
+	}
+	if *minSpeedup > 0 {
+		// A skipped cell must fail enforcement, not drop out of it — an
+		// exhausted-budget b.Skipf is exactly what a performance regression
+		// looks like. Zero pairs overall means the bench produced nothing
+		// comparable; a family with a workers=1 baseline but no parallel
+		// pair means the parallel cell itself skipped or died.
+		if len(rep.Speedups) == 0 {
+			fatal(fmt.Errorf("-min-speedup %.2f: no workers=N vs workers=1 pairs in the input (bench failed or skipped?)", *minSpeedup))
+		}
+		paired := map[string]bool{}
+		for _, sp := range rep.Speedups {
+			paired[sp.Cell] = true
+			if sp.Speedup < *minSpeedup {
+				fatal(fmt.Errorf("%s: workers=%d speedup %.2fx below required %.2fx",
+					sp.Cell, sp.Workers, sp.Speedup, *minSpeedup))
+			}
+		}
+		for _, bl := range rep.Benchmarks {
+			if m := workersRe.FindStringSubmatch(bl.Name); m != nil && m[2] == "1" && !paired[m[1]] {
+				fatal(fmt.Errorf("-min-speedup %.2f: %s has a workers=1 baseline but no parallel cell to compare (skipped?)", *minSpeedup, m[1]))
+			}
+		}
+	}
+}
+
+func parse(r io.Reader) (*report, error) {
+	rep := &report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchRe.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		rep.Raw = append(rep.Raw, line)
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		bl := benchLine{Name: stripProcSuffix(m[1]), Iters: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			bl.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, bl)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Speedups: for every family with a workers=1 cell, compare the rest.
+	base := map[string]float64{} // family -> ns/op at workers=1
+	for _, bl := range rep.Benchmarks {
+		if m := workersRe.FindStringSubmatch(bl.Name); m != nil && m[2] == "1" {
+			base[m[1]] = bl.Metrics["ns/op"]
+		}
+	}
+	for _, bl := range rep.Benchmarks {
+		m := workersRe.FindStringSubmatch(bl.Name)
+		if m == nil || m[2] == "1" {
+			continue
+		}
+		b, ok := base[m[1]]
+		if !ok || b == 0 || bl.Metrics["ns/op"] == 0 {
+			continue
+		}
+		w, _ := strconv.Atoi(m[2])
+		rep.Speedups = append(rep.Speedups, speedup{
+			Cell:    m[1],
+			Workers: w,
+			Speedup: b / bl.Metrics["ns/op"],
+		})
+	}
+	return rep, nil
+}
+
+// stripProcSuffix drops the trailing -GOMAXPROCS that `go test` appends to
+// benchmark names (BenchmarkX/workers=4-8 -> BenchmarkX/workers=4).
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

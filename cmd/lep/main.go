@@ -34,19 +34,20 @@ var tps = []struct {
 
 func main() {
 	var (
-		table1  = flag.Bool("table1", false, "reproduce the paper's Table 1")
-		minN    = flag.Int("min", 3, "smallest n")
-		maxN    = flag.Int("max", 8, "largest n")
-		n       = flag.Int("n", 3, "single-cell mode: number of nodes")
-		tp      = flag.String("tp", "TP1", "single-cell mode: TP1|TP2|TP3")
-		budget  = flag.Duration("budget", 120*time.Second, "per-cell time budget")
-		memMB   = flag.Uint64("mem", 2048, "per-cell memory budget (MiB)")
-		workers = flag.Int("workers", 0, "parallel exploration workers (0 = all cores, 1 = serial)")
+		table1      = flag.Bool("table1", false, "reproduce the paper's Table 1")
+		minN        = flag.Int("min", 3, "smallest n")
+		maxN        = flag.Int("max", 8, "largest n")
+		n           = flag.Int("n", 3, "single-cell mode: number of nodes")
+		tp          = flag.String("tp", "TP1", "single-cell mode: TP1|TP2|TP3")
+		budget      = flag.Duration("budget", 120*time.Second, "per-cell time budget")
+		memMB       = flag.Uint64("mem", 2048, "per-cell memory budget (MiB)")
+		workers     = flag.Int("workers", 0, "parallel exploration workers (0 = all cores, 1 = serial)")
+		propWorkers = flag.Int("prop-workers", 0, "parallel propagation workers (0 = same as -workers)")
 	)
 	flag.Parse()
 
 	if *table1 {
-		printTable1(*minN, *maxN, *budget, *memMB<<20, *workers)
+		printTable1(*minN, *maxN, *budget, *memMB<<20, *workers, *propWorkers)
 		return
 	}
 	src := ""
@@ -59,7 +60,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lep: unknown test purpose %q\n", *tp)
 		os.Exit(1)
 	}
-	cell := solveCell(*n, src, *budget, *memMB<<20, *workers)
+	cell := solveCell(*n, src, *budget, *memMB<<20, *workers, *propWorkers)
 	fmt.Printf("n=%d %s: %s\n", *n, *tp, cell.verbose())
 }
 
@@ -93,7 +94,7 @@ func (c cellResult) verbose() string {
 	return fmt.Sprintf("winnable=%v time=%v heap=%dMiB states=%d", c.winnable, c.dur.Round(time.Millisecond), c.heap>>20, c.nodes)
 }
 
-func solveCell(n int, src string, budget time.Duration, memBudget uint64, workers int) cellResult {
+func solveCell(n int, src string, budget time.Duration, memBudget uint64, workers, propWorkers int) cellResult {
 	// Isolate heap accounting per cell.
 	runtime.GC()
 	debug.FreeOSMemory()
@@ -103,10 +104,11 @@ func solveCell(n int, src string, budget time.Duration, memBudget uint64, worker
 		return cellResult{err: err}
 	}
 	res, err := game.Solve(sys, f, game.Options{
-		EarlyTermination: true,
-		TimeBudget:       budget,
-		MemBudget:        memBudget,
-		Workers:          workers,
+		EarlyTermination:   true,
+		TimeBudget:         budget,
+		MemBudget:          memBudget,
+		Workers:            workers,
+		PropagationWorkers: propWorkers,
 	})
 	if err != nil {
 		return cellResult{err: err}
@@ -120,7 +122,7 @@ func solveCell(n int, src string, budget time.Duration, memBudget uint64, worker
 	}
 }
 
-func printTable1(minN, maxN int, budget time.Duration, memBudget uint64, workers int) {
+func printTable1(minN, maxN int, budget time.Duration, memBudget uint64, workers, propWorkers int) {
 	fmt.Println("Table 1 reproduction: strategy generation for the LEP protocol")
 	fmt.Printf("(per-cell budget: %v / %d MiB; '/' = budget exhausted, the paper's out-of-memory)\n\n", budget, memBudget>>20)
 
@@ -132,7 +134,7 @@ func printTable1(minN, maxN int, budget time.Duration, memBudget uint64, workers
 	for _, t := range tps {
 		r := row{name: t.name}
 		for n := minN; n <= maxN; n++ {
-			cell := solveCell(n, t.src, budget, memBudget, workers)
+			cell := solveCell(n, t.src, budget, memBudget, workers, propWorkers)
 			r.cells = append(r.cells, cell)
 			fmt.Fprintf(os.Stderr, "  solved %s n=%d: %s\n", t.name, n, cell.verbose())
 		}

@@ -8,6 +8,14 @@
 //	testexec -model smartlight -campaign           # mutation campaign
 //	testexec -model smartlight -serve :9000        # host an IUT over TCP
 //	testexec -model smartlight -connect host:9000  # test a remote IUT
+//	testexec -file m.tga -formula "control: A<> P.Goal" -plant P
+//
+// Models come from the built-in library (-model smartlight) or any file in
+// the tigatest DSL (-file, like cmd/tiga). The plant — the processes that
+// play the implementation under test — defaults to the model's convention
+// (smartlight: the IUT process) or, for -file models, to every process
+// that emits on an uncontrollable (output) channel; -plant overrides it
+// with an explicit comma-separated process list.
 package main
 
 import (
@@ -15,8 +23,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"tigatest/internal/adapter"
+	"tigatest/internal/dsl"
 	"tigatest/internal/game"
 	"tigatest/internal/model"
 	"tigatest/internal/models"
@@ -28,24 +38,30 @@ import (
 
 func main() {
 	var (
-		modelName = flag.String("model", "smartlight", "built-in model: smartlight")
-		formula   = flag.String("formula", "", "test purpose (default: the model's standard purpose)")
-		campaign  = flag.Bool("campaign", false, "run the mutation fault-detection campaign")
-		perOp     = flag.Int("perop", 0, "mutants per operator in the campaign (0 = all)")
-		serve     = flag.String("serve", "", "serve a conformant IUT on this address instead of testing")
-		connect   = flag.String("connect", "", "test an IUT served at this address")
-		workers   = flag.Int("workers", 0, "parallel synthesis workers (0 = all cores, 1 = serial)")
+		modelName   = flag.String("model", "", "built-in model: smartlight (default when -file is absent)")
+		file        = flag.String("file", "", "model file in the tigatest DSL")
+		formula     = flag.String("formula", "", "test purpose (default: the built-in model's standard purpose)")
+		plantList   = flag.String("plant", "", "comma-separated plant process names (default: model convention / output emitters)")
+		campaign    = flag.Bool("campaign", false, "run the mutation fault-detection campaign")
+		perOp       = flag.Int("perop", 0, "mutants per operator in the campaign (0 = all)")
+		serve       = flag.String("serve", "", "serve a conformant IUT on this address instead of testing")
+		connect     = flag.String("connect", "", "test an IUT served at this address")
+		workers     = flag.Int("workers", 0, "parallel synthesis workers (0 = all cores, 1 = serial)")
+		propWorkers = flag.Int("prop-workers", 0, "parallel propagation workers (0 = same as -workers)")
 	)
 	flag.Parse()
 
-	if *modelName != "smartlight" {
-		fatal(fmt.Errorf("only the smartlight model is wired into testexec; use the library for others"))
+	f, src, err := loadSpec(*modelName, *file, *formula)
+	if err != nil {
+		fatal(err)
 	}
-	spec := models.SmartLight()
-	plant := models.SmartLightPlant(spec)
-	src := *formula
-	if src == "" {
-		src = models.SmartLightGoal
+	spec := f.Sys
+	// The built-in plant convention applies only when the model IS the
+	// built-in one (-file absent) — a user file merely named "smartlight"
+	// must get the generic default, not a hardwired process index.
+	plant, err := resolvePlant(spec, *file == "", *plantList)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *serve != "" {
@@ -54,22 +70,22 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("serving a conformant %s implementation on %s (ctrl-c to stop)\n", *modelName, srv.Addr())
+		fmt.Printf("serving a conformant %s implementation on %s (ctrl-c to stop)\n", spec.Name, srv.Addr())
 		select {}
 	}
 
-	f, err := tctl.Parse(models.SmartLightEnv(spec), src)
+	purpose, err := tctl.Parse(f.ParseEnv(), src)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := game.Solve(spec, f, game.Options{Workers: *workers})
+	res, err := game.Solve(spec, purpose, game.Options{Workers: *workers, PropagationWorkers: *propWorkers})
 	if err != nil {
 		fatal(err)
 	}
 	if !res.Winnable {
 		fatal(fmt.Errorf("test purpose %s is not winnable; no strategy to execute", src))
 	}
-	fmt.Printf("synthesized winning strategy for %s (%d symbolic states)\n\n", f, res.Strategy.NumNodes())
+	fmt.Printf("synthesized winning strategy for %s (%d symbolic states)\n\n", purpose, res.Strategy.NumNodes())
 
 	opts := texec.Options{PlantProcs: plant}
 
@@ -131,6 +147,78 @@ func main() {
 	fmt.Printf("\nkill rate: %d/%d (%.0f%%)\n", totalKilled, total, 100*float64(totalKilled)/float64(total))
 	fmt.Println("(surviving mutants hide outside the behaviour this test purpose exercises —")
 	fmt.Println(" targeted testing is partially complete w.r.t. the purpose, Theorem 11)")
+}
+
+// loadSpec resolves the specification and the test-purpose source from the
+// flags: a -file DSL model (formula required), or a built-in model with
+// its standard purpose as the default.
+func loadSpec(modelName, file, formula string) (*dsl.File, string, error) {
+	switch {
+	case file != "":
+		if modelName != "" {
+			return nil, "", fmt.Errorf("-model and -file are mutually exclusive")
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, "", err
+		}
+		f, err := dsl.Parse(string(data))
+		if err != nil {
+			return nil, "", err
+		}
+		if formula == "" {
+			return nil, "", fmt.Errorf("-file models need an explicit -formula")
+		}
+		return f, formula, nil
+	case modelName == "" || modelName == "smartlight":
+		spec := models.SmartLight()
+		if formula == "" {
+			formula = models.SmartLightGoal
+		}
+		return &dsl.File{Sys: spec}, formula, nil
+	default:
+		return nil, "", fmt.Errorf("unknown -model %q; use smartlight or -file <path>", modelName)
+	}
+}
+
+// resolvePlant determines which processes play the implementation under
+// test: an explicit -plant list, the built-in model's convention, or — for
+// file models — every process that emits on an uncontrollable channel
+// (outputs are what the implementation produces, Def. 3).
+func resolvePlant(spec *model.System, builtin bool, plantList string) ([]int, error) {
+	if plantList != "" {
+		var plant []int
+		for _, name := range strings.Split(plantList, ",") {
+			name = strings.TrimSpace(name)
+			pi, ok := spec.ProcByName(name)
+			if !ok {
+				return nil, fmt.Errorf("-plant: no process named %q in %s", name, spec.Name)
+			}
+			plant = append(plant, pi)
+		}
+		return plant, nil
+	}
+	if builtin {
+		return models.SmartLightPlant(spec), nil
+	}
+	var plant []int
+	for pi, p := range spec.Procs {
+		emits := false
+		for ei := range p.Edges {
+			e := &p.Edges[ei]
+			if e.Dir == model.Emit && e.Chan >= 0 && spec.Channels[e.Chan].Kind == model.Uncontrollable {
+				emits = true
+				break
+			}
+		}
+		if emits {
+			plant = append(plant, pi)
+		}
+	}
+	if len(plant) == 0 {
+		return nil, fmt.Errorf("no process of %s emits an output; name the plant explicitly with -plant", spec.Name)
+	}
+	return plant, nil
 }
 
 func exitOn(r texec.Result) {

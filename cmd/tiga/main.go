@@ -30,18 +30,19 @@ import (
 
 func main() {
 	var (
-		modelName = flag.String("model", "", "built-in model: smartlight | lep")
-		file      = flag.String("file", "", "model file in the tigatest DSL")
-		n         = flag.Int("n", 3, "number of nodes for the lep model")
-		formula   = flag.String("formula", "", "test purpose (control: A<> ... / control: A[] ...)")
-		dump      = flag.Bool("dump", false, "print the model in DSL form and exit")
-		backward  = flag.Bool("backward", false, "use the backward fixpoint solver instead of on-the-fly")
-		early     = flag.Bool("early", false, "stop as soon as the initial state is decided")
-		jsonOut   = flag.String("json", "", "write the strategy as JSON to this file")
-		budget    = flag.Duration("budget", 0, "time budget (0 = none)")
-		memMB     = flag.Uint64("mem", 0, "memory budget in MiB (0 = none)")
-		workers   = flag.Int("workers", 0, "parallel exploration workers (0 = all cores, 1 = serial)")
-		quiet     = flag.Bool("quiet", false, "suppress the strategy printout")
+		modelName   = flag.String("model", "", "built-in model: smartlight | lep")
+		file        = flag.String("file", "", "model file in the tigatest DSL")
+		n           = flag.Int("n", 3, "number of nodes for the lep model")
+		formula     = flag.String("formula", "", "test purpose (control: A<> ... / control: A[] ...)")
+		dump        = flag.Bool("dump", false, "print the model in DSL form and exit")
+		backward    = flag.Bool("backward", false, "use the backward fixpoint solver instead of on-the-fly")
+		early       = flag.Bool("early", false, "stop as soon as the initial state is decided")
+		jsonOut     = flag.String("json", "", "write the strategy as JSON to this file")
+		budget      = flag.Duration("budget", 0, "time budget (0 = none)")
+		memMB       = flag.Uint64("mem", 0, "memory budget in MiB (0 = none)")
+		workers     = flag.Int("workers", 0, "parallel exploration workers (0 = all cores, 1 = serial)")
+		propWorkers = flag.Int("prop-workers", 0, "parallel propagation workers (0 = same as -workers)")
+		quiet       = flag.Bool("quiet", false, "suppress the strategy printout")
 	)
 	flag.Parse()
 
@@ -63,10 +64,11 @@ func main() {
 	}
 
 	opts := game.Options{
-		EarlyTermination: *early,
-		TimeBudget:       *budget,
-		MemBudget:        *memMB << 20,
-		Workers:          *workers,
+		EarlyTermination:   *early,
+		TimeBudget:         *budget,
+		MemBudget:          *memMB << 20,
+		Workers:            *workers,
+		PropagationWorkers: *propWorkers,
 	}
 	if *backward {
 		opts.Algorithm = game.Backward
@@ -87,6 +89,10 @@ func main() {
 	fmt.Printf("result:   winnable=%v\n", res.Winnable)
 	fmt.Printf("effort:   %d symbolic states, %d transitions, %d re-evaluations, %v, peak heap %d MiB\n",
 		res.Stats.Nodes, res.Stats.Transitions, res.Stats.Reevals, time.Since(t0).Round(time.Millisecond), res.Stats.PeakHeapBytes>>20)
+	if res.Stats.PropagationRounds > 0 {
+		fmt.Printf("backward: %d SCCs, %d propagation passes, %d cross-SCC messages\n",
+			res.Stats.SCCs, res.Stats.PropagationRounds, res.Stats.CrossSCCMessages)
+	}
 
 	if res.Strategy != nil && !*quiet {
 		fmt.Println()

@@ -3,11 +3,15 @@
 //
 // Successor computation (the expensive, pure part: firing every edge,
 // canonicalizing zones, extrapolating) runs on Options.Workers goroutines;
-// graph wiring and the backward win-set propagation stay sequential, so
-// the engine is deterministic: the node numbering, the exploration rounds
-// and every reeval are identical for any Workers >= 2. Workers == 1
-// bypasses this file entirely and reproduces the original serial
-// schedule. See DESIGN.md for the full protocol.
+// graph wiring stays sequential, so node numbering and the exploration
+// rounds are identical for any Workers >= 2. Backward propagation runs as
+// parallel bottom-up passes over the SCC condensation of the explored
+// graph (scc.go, propagate.go) on Options.PropagationWorkers goroutines;
+// the win-set fixpoint is a unique least fixpoint, so every worker count
+// produces winning sets semantically equal to the serial engine's (zone
+// decompositions may differ run to run). Workers == 1 bypasses this file
+// entirely and reproduces the original serial schedule. See DESIGN.md for
+// the full protocol.
 package game
 
 import (
@@ -162,7 +166,7 @@ func (s *solver) exploreBatch(frontier []int) error {
 				s.registerNode(ws.n)
 			}
 			n.succs = append(n.succs, succRef{trans: ws.trans, target: ws.n.id})
-			ws.n.preds = appendUnique(ws.n.preds, id)
+			ws.n.addPred(id)
 		}
 		s.scheduleReeval(id)
 	}
@@ -198,8 +202,12 @@ func (s *solver) exploreOne(id int, buf []symbolic.Succ, wst *Stats) ([]symbolic
 }
 
 // runParallelBackward is the Workers >= 2 Backward algorithm: phase 1
-// explores the full zone graph in parallel rounds; phase 2 is the same
-// sequential round-robin fixpoint as the serial engine.
+// explores the full zone graph in parallel rounds; phase 2 runs the
+// SCC-condensed bottom-up fixpoint (propagate.go) seeded with every node —
+// exploreBatch scheduled each explored node exactly once, so the global
+// re-evaluation queue already IS the full seed set. Solving components to
+// local convergence in reverse topological order reaches the global least
+// fixpoint in a single pass over the condensation.
 func (s *solver) runParallelBackward() error {
 	for len(s.exploreQ) > 0 {
 		if err := s.checkBudget(); err != nil {
@@ -211,39 +219,28 @@ func (s *solver) runParallelBackward() error {
 			return err
 		}
 	}
-	for changed := true; changed; {
-		changed = false
-		if err := s.checkBudget(); err != nil {
-			return err
-		}
-		for id := len(s.nodes) - 1; id >= 0; id-- {
-			grew, err := s.reeval(id)
-			if err != nil {
-				return err
-			}
-			changed = changed || grew
-		}
-	}
-	return nil
+	seeds := s.reevalQ
+	s.reevalQ = nil
+	return s.propagate(seeds, false)
 }
 
 // runParallelOnTheFly is the Workers >= 2 on-the-fly algorithm: batched
 // rounds that alternate a full parallel exploration of the current
-// frontier with a sequential drain of the backward-propagation queue.
-// Early termination is checked after every propagation step, as in the
-// serial engine, and additionally between rounds; it fires at a slightly
-// coarser granularity than the serial schedule (a whole frontier is
-// explored at a time), which affects effort, never the answer.
+// frontier with a parallel SCC propagation pass over the incremental
+// condensation of the graph explored so far, seeded with this round's
+// scheduled nodes (propagate.go). Early termination is checked inside the
+// pass whenever the initial node's winning set grows and again between
+// rounds; relative to the serial schedule it fires at a coarser
+// granularity, which affects effort, never the answer.
 func (s *solver) runParallelOnTheFly() error {
 	for len(s.exploreQ) > 0 || len(s.reevalQ) > 0 {
-		for len(s.reevalQ) > 0 {
+		if len(s.reevalQ) > 0 {
 			if err := s.checkBudget(); err != nil {
 				return err
 			}
-			id := s.reevalQ[0]
-			s.reevalQ = s.reevalQ[1:]
-			s.inReeval[id] = false
-			if _, err := s.reeval(id); err != nil {
+			seeds := s.reevalQ
+			s.reevalQ = nil
+			if err := s.propagate(seeds, s.opts.EarlyTermination); err != nil {
 				return err
 			}
 			if s.opts.EarlyTermination && s.initialDecided() {
@@ -271,6 +268,7 @@ func (s *Stats) merge(o Stats) {
 	s.Transitions += o.Transitions
 	s.Reevals += o.Reevals
 	s.Updates += o.Updates
+	s.CrossSCCMessages += o.CrossSCCMessages
 	if o.PeakHeapBytes > s.PeakHeapBytes {
 		s.PeakHeapBytes = o.PeakHeapBytes
 	}

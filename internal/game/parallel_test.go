@@ -32,10 +32,10 @@ func winByState(t *testing.T, res *Result) map[string]*dbm.Federation {
 }
 
 // fedsEquivalent compares two win federations semantically. Equals is
-// always the deciding check — the order-insensitive sum in
-// Federation.Hash could in principle collide on genuinely different
-// sets, so it must not shortcut an agreement test (it is still asserted
-// as an exact-decomposition fingerprint in TestParallelDeterministic).
+// always the deciding check: the SCC propagation schedule is free to
+// produce different zone decompositions of the same winning set, so
+// neither decomposition hashes nor zone counts may be asserted across
+// engines or worker counts.
 func fedsEquivalent(a, b *dbm.Federation) bool {
 	return a.Equals(b)
 }
@@ -133,10 +133,12 @@ func TestParallelMatchesSerialLEP4(t *testing.T) {
 	}
 }
 
-// TestParallelDeterministic pins the stronger property the engine is
-// designed for: any two parallel worker counts produce the same node
-// numbering and bit-identical win decompositions (not merely semantically
-// equal sets), because wiring and propagation are sequential.
+// TestParallelDeterministic pins what stays deterministic in the parallel
+// engine: exploration and wiring are sequentialized, so any two parallel
+// worker counts produce the same node numbering and state space. The win
+// sets are only semantically equal — the SCC propagation passes solve
+// independent components concurrently, so their zone decompositions depend
+// on the schedule (the fixpoint they converge to does not).
 func TestParallelDeterministic(t *testing.T) {
 	sys := models.LEP(models.LEPOptions{Nodes: 3})
 	f := tctl.MustParse(models.LEPEnv(sys, 3), models.LEPTP2)
@@ -156,8 +158,8 @@ func TestParallelDeterministic(t *testing.T) {
 		if !na.st.EqualTo(nb.st) {
 			t.Fatalf("node %d holds different states across worker counts", i)
 		}
-		if na.win.Hash() != nb.win.Hash() {
-			t.Fatalf("node %d win decompositions differ across worker counts", i)
+		if !fedsEquivalent(na.win, nb.win) {
+			t.Fatalf("node %d win sets differ across worker counts:\n  w=2: %s\n  w=8: %s", i, na.win, nb.win)
 		}
 	}
 }

@@ -1,0 +1,146 @@
+// Strongly connected components of the explored zone graph.
+//
+// The backward win-set fixpoint is a least fixpoint over equations whose
+// dependency graph is exactly the game graph (a node's winning set depends
+// only on its successors'), so condensing the graph into SCCs and solving
+// the components bottom-up — every successor component fully converged
+// before a component starts — reaches the global fixpoint in a single pass
+// over the condensation DAG. Components with disjoint dependency cones can
+// be solved concurrently; see propagate.go for the scheduler.
+package game
+
+// tarjanUndef marks an unvisited node in tarjanSCC.
+const tarjanUndef = int32(-1)
+
+// tarjanSCC computes the strongly connected components of a directed graph
+// with nodes 0..n-1, given by out-degree and indexed successor access.
+// It is the classic Tarjan algorithm made iterative with an explicit frame
+// stack (zone graphs routinely have paths far deeper than the goroutine
+// stack budget).
+//
+// compOf maps each node to its component id; comps lists the members of
+// every component. Components are emitted in reverse topological order:
+// every successor of a node lies in the same component or in one with a
+// strictly smaller id. Component ids therefore directly give the bottom-up
+// solving order for backward propagation.
+func tarjanSCC(n int, deg func(u int) int, succ func(u, i int) int) (compOf []int32, comps [][]int32) {
+	compOf = make([]int32, n)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = tarjanUndef
+	}
+	stack := make([]int32, 0, n)
+
+	type frame struct {
+		u  int32
+		ei int32 // next successor index to visit
+	}
+	var frames []frame
+	var next int32
+
+	for root := 0; root < n; root++ {
+		if index[root] != tarjanUndef {
+			continue
+		}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		frames = append(frames[:0], frame{u: int32(root)})
+
+		for len(frames) > 0 {
+			fr := &frames[len(frames)-1]
+			u := int(fr.u)
+			if int(fr.ei) < deg(u) {
+				v := succ(u, int(fr.ei))
+				fr.ei++
+				if index[v] == tarjanUndef {
+					index[v], low[v] = next, next
+					next++
+					stack = append(stack, int32(v))
+					onStack[v] = true
+					frames = append(frames, frame{u: int32(v)})
+				} else if onStack[v] && index[v] < low[u] {
+					low[u] = index[v]
+				}
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if p := int(frames[len(frames)-1].u); low[u] < low[p] {
+					low[p] = low[u]
+				}
+			}
+			if low[u] != index[u] {
+				continue
+			}
+			cid := int32(len(comps))
+			var comp []int32
+			for {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[v] = false
+				compOf[v] = cid
+				comp = append(comp, v)
+				if int(v) == u {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	return compOf, comps
+}
+
+// condensation is the SCC DAG of the explored zone graph plus the
+// cross-component adjacency the parallel propagator schedules with.
+// Component ids are in reverse topological order (tarjanSCC), so id 0 is
+// a sink of the DAG.
+type condensation struct {
+	compOf []int32
+	comps  [][]int32
+	// succs/preds hold the distinct cross-component edges: succs[c] are the
+	// components c's nodes step into (c depends on them), preds[c] the
+	// components that step into c (they wait for c).
+	succs [][]int32
+	preds [][]int32
+}
+
+// condense computes the SCC condensation of the currently explored graph.
+// Frontier nodes that are interned but unexplored have no successors and
+// become singleton sink components, which is harmless: they hold no winning
+// zones until explored.
+func (s *solver) condense() *condensation {
+	n := len(s.nodes)
+	compOf, comps := tarjanSCC(n,
+		func(u int) int { return len(s.nodes[u].succs) },
+		func(u, i int) int { return s.nodes[u].succs[i].target },
+	)
+	c := &condensation{
+		compOf: compOf,
+		comps:  comps,
+		succs:  make([][]int32, len(comps)),
+		preds:  make([][]int32, len(comps)),
+	}
+	// Dedup cross edges per source component with a last-seen marker.
+	seen := make([]int32, len(comps))
+	for i := range seen {
+		seen[i] = -1
+	}
+	for cid := range comps {
+		for _, u := range comps[cid] {
+			for i := range s.nodes[u].succs {
+				d := compOf[s.nodes[u].succs[i].target]
+				if int(d) == cid || seen[d] == int32(cid) {
+					continue
+				}
+				seen[d] = int32(cid)
+				c.succs[cid] = append(c.succs[cid], d)
+				c.preds[d] = append(c.preds[d], int32(cid))
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,151 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func runTarjan(adj [][]int) (compOf []int32, comps [][]int32) {
+	return tarjanSCC(len(adj),
+		func(u int) int { return len(adj[u]) },
+		func(u, i int) int { return adj[u][i] },
+	)
+}
+
+// TestTarjanSCCHandcrafted checks the condensation of a handcrafted cyclic
+// graph: two cycles bridged by cross edges, a diamond into a sink, a
+// self-loop, and an isolated node.
+//
+//	0 -> 1 -> 2 -> 0        (component {0,1,2})
+//	2 -> 3
+//	3 -> 4 -> 5 -> 3        (component {3,4,5})
+//	5 -> 6, 3 -> 6          (6: sink)
+//	7 -> 7                  (self-loop: its own component)
+//	7 -> 0
+//	8                       (isolated)
+func TestTarjanSCCHandcrafted(t *testing.T) {
+	adj := [][]int{
+		0: {1},
+		1: {2},
+		2: {0, 3},
+		3: {4, 6},
+		4: {5},
+		5: {3, 6},
+		6: {},
+		7: {7, 0},
+		8: {},
+	}
+	compOf, comps := runTarjan(adj)
+
+	same := func(a, b int) bool { return compOf[a] == compOf[b] }
+	if !same(0, 1) || !same(1, 2) {
+		t.Fatalf("0,1,2 must share a component: %v", compOf)
+	}
+	if !same(3, 4) || !same(4, 5) {
+		t.Fatalf("3,4,5 must share a component: %v", compOf)
+	}
+	if same(0, 3) || same(0, 6) || same(3, 6) || same(7, 0) || same(8, 0) {
+		t.Fatalf("distinct components merged: %v", compOf)
+	}
+	if len(comps) != 5 {
+		t.Fatalf("want 5 components, got %d: %v", len(comps), comps)
+	}
+	// Reverse topological order: every edge leads into the same or an
+	// earlier-emitted (smaller-id) component, so components can be solved
+	// bottom-up in id order.
+	for u := range adj {
+		for _, v := range adj[u] {
+			if compOf[v] > compOf[u] {
+				t.Fatalf("edge %d->%d breaks reverse topological order (comp %d -> %d)",
+					u, v, compOf[u], compOf[v])
+			}
+		}
+	}
+	// comps must partition the nodes consistently with compOf.
+	seen := make([]bool, len(adj))
+	for cid, comp := range comps {
+		for _, v := range comp {
+			if seen[v] {
+				t.Fatalf("node %d appears in two components", v)
+			}
+			seen[v] = true
+			if compOf[v] != int32(cid) {
+				t.Fatalf("node %d listed in comp %d but compOf says %d", v, cid, compOf[v])
+			}
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("node %d missing from every component", v)
+		}
+	}
+}
+
+// TestTarjanSCCRandomOracle cross-checks tarjanSCC against a mutual-
+// reachability oracle (Floyd-Warshall closure) on random digraphs: u and v
+// share a component iff each reaches the other.
+func TestTarjanSCCRandomOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + rng.Intn(30)
+		adj := make([][]int, n)
+		reach := make([][]bool, n)
+		for u := 0; u < n; u++ {
+			reach[u] = make([]bool, n)
+			reach[u][u] = true
+			edges := rng.Intn(4)
+			for e := 0; e < edges; e++ {
+				v := rng.Intn(n)
+				adj[u] = append(adj[u], v)
+				reach[u][v] = true
+			}
+		}
+		for k := 0; k < n; k++ {
+			for u := 0; u < n; u++ {
+				if !reach[u][k] {
+					continue
+				}
+				for v := 0; v < n; v++ {
+					if reach[k][v] {
+						reach[u][v] = true
+					}
+				}
+			}
+		}
+		compOf, _ := runTarjan(adj)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				want := reach[u][v] && reach[v][u]
+				got := compOf[u] == compOf[v]
+				if want != got {
+					t.Fatalf("iter %d: nodes %d,%d: mutual reach %v but same-component %v", iter, u, v, want, got)
+				}
+			}
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range adj[u] {
+				if compOf[v] > compOf[u] {
+					t.Fatalf("iter %d: edge %d->%d breaks reverse topological order", iter, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestTarjanSCCDeepPath guards the iterative implementation: a recursive
+// Tarjan would blow the stack on a path this long.
+func TestTarjanSCCDeepPath(t *testing.T) {
+	const n = 200000
+	adj := make([][]int, n)
+	for u := 0; u < n-1; u++ {
+		adj[u] = []int{u + 1}
+	}
+	compOf, comps := runTarjan(adj)
+	if len(comps) != n {
+		t.Fatalf("a path has %d singleton components, got %d", n, len(comps))
+	}
+	// The chain's tail is the sink and must be emitted first.
+	if compOf[n-1] != 0 || compOf[0] != int32(n-1) {
+		t.Fatalf("reverse topological numbering broken: compOf[last]=%d compOf[0]=%d", compOf[n-1], compOf[0])
+	}
+}

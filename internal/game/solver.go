@@ -74,8 +74,13 @@ type Options struct {
 	// Workers sets the number of goroutines that explore the zone graph in
 	// parallel (0 = runtime.GOMAXPROCS(0)). Workers == 1 runs the original
 	// serial schedule; Workers >= 2 uses the batched parallel engine (see
-	// engine.go), which computes the same winning sets deterministically.
+	// engine.go), which computes semantically identical winning sets.
 	Workers int
+	// PropagationWorkers sets the number of goroutines solving SCC
+	// components concurrently during backward propagation (0 = same as
+	// Workers). Only meaningful for the parallel engine (Workers >= 2);
+	// the serial engine keeps its sequential global-queue propagation.
+	PropagationWorkers int
 }
 
 // ErrBudget reports that the memory or time budget was exhausted, the
@@ -90,6 +95,11 @@ type Stats struct {
 	Updates       int           // updates that grew a winning set
 	PeakHeapBytes uint64        // sampled heap high-water mark
 	Duration      time.Duration // wall-clock solve time
+
+	// Parallel-propagation counters (zero under the serial engine).
+	SCCs              int // components in the last condensation of the graph
+	PropagationRounds int // SCC propagation passes run
+	CrossSCCMessages  int // reschedules that crossed a component boundary
 }
 
 // Result of a solve run.
@@ -113,10 +123,42 @@ type node struct {
 	goal     *dbm.Federation // φ ∩ Z (reach) or ¬φ ∩ Z (safety dual)
 	succs    []succRef
 	preds    []int
-	win      *dbm.Federation // winning (reach) / losing (safety dual) subset
+	predSet  map[int]struct{} // dedup index for preds, built above a threshold
+	win      *dbm.Federation  // winning (reach) / losing (safety dual) subset
 	deltas   []winDelta
 	explored bool
 	full     bool // win covers the whole zone; no further growth possible
+}
+
+// predSetThreshold is the pred-list length at which addPred switches from
+// a linear scan to a map index. Dense LEP graphs reach fan-ins in the
+// hundreds, where the O(degree²) scan of the old appendUnique dominated
+// graph wiring.
+const predSetThreshold = 16
+
+// addPred records id as a predecessor, deduplicating. The insertion order
+// of preds is preserved (the map is only an index).
+func (n *node) addPred(id int) {
+	if n.predSet == nil {
+		for _, x := range n.preds {
+			if x == id {
+				return
+			}
+		}
+		n.preds = append(n.preds, id)
+		if len(n.preds) >= predSetThreshold {
+			n.predSet = make(map[int]struct{}, 2*len(n.preds))
+			for _, x := range n.preds {
+				n.predSet[x] = struct{}{}
+			}
+		}
+		return
+	}
+	if _, ok := n.predSet[id]; ok {
+		return
+	}
+	n.predSet[id] = struct{}{}
+	n.preds = append(n.preds, id)
 }
 
 type succRef struct {
@@ -136,13 +178,17 @@ type solver struct {
 	opts    Options
 	ex      *symbolic.Explorer
 
-	nodes   []*node
-	store   *nodeStore // hash-interned symbolic states, sharded by discrete hash
-	workers int
-	stamp   int
-	stats   Stats
-	t0      time.Time
-	safety  bool // solving the safety dual (win federations hold LOSING sets)
+	nodes          []*node
+	store          *nodeStore // hash-interned symbolic states, sharded by discrete hash
+	workers        int
+	propWorkers    int
+	stamp          int
+	stats          Stats
+	budgetCalls    int     // checkBudget invocations
+	lastSampleWork int     // Nodes+Reevals at the last heap sample (throttle)
+	initPoint      []int64 // scratch valuation for initialDecided
+	t0             time.Time
+	safety         bool // solving the safety dual (win federations hold LOSING sets)
 
 	exploreQ []int
 	reevalQ  []int
@@ -167,6 +213,11 @@ func Solve(sys *model.System, formula *tctl.Formula, opts Options) (*Result, err
 	if s.workers <= 0 {
 		s.workers = runtime.GOMAXPROCS(0)
 	}
+	s.propWorkers = opts.PropagationWorkers
+	if s.propWorkers <= 0 {
+		s.propWorkers = s.workers
+	}
+	s.initPoint = make([]int64, sys.NumClocks()-1)
 	s.ex = symbolic.NewExplorer(sys, formula.ClockConstraints())
 	if opts.DisableExtrapolation {
 		s.ex.Max = nil
@@ -191,8 +242,7 @@ func Solve(sys *model.System, formula *tctl.Formula, opts Options) (*Result, err
 	for _, n := range s.nodes {
 		res.Win[n.id] = n.win
 	}
-	initPoint := make([]int64, sys.NumClocks()-1)
-	initWinning := s.nodes[0].win.ContainsPoint(initPoint, 1)
+	initWinning := s.nodes[0].win.ContainsPoint(s.initPoint, 1)
 	if s.safety {
 		// win holds the opponent's forced-reach (losing) sets.
 		res.Winnable = !initWinning
@@ -320,8 +370,7 @@ func (s *solver) run() error {
 // initialDecided reports whether the initial point is already known
 // winning (reach) or losing (safety dual).
 func (s *solver) initialDecided() bool {
-	initPoint := make([]int64, s.sys.NumClocks()-1)
-	return s.nodes[0].win.ContainsPoint(initPoint, 1)
+	return s.nodes[0].win.ContainsPoint(s.initPoint, 1)
 }
 
 // explore computes the successors of a node and schedules it for
@@ -348,20 +397,11 @@ func (s *solver) explore(id int) error {
 			sc.State.Zone.Release()
 		}
 		n.succs = append(n.succs, succRef{trans: sc.Trans, target: t.id})
-		t.preds = appendUnique(t.preds, id)
+		t.addPred(id)
 		s.stats.Transitions++
 	}
 	s.scheduleReeval(id)
 	return nil
-}
-
-func appendUnique(xs []int, v int) []int {
-	for _, x := range xs {
-		if x == v {
-			return xs
-		}
-	}
-	return append(xs, v)
 }
 
 func (s *solver) scheduleReeval(id int) {
@@ -383,7 +423,8 @@ func (s *solver) controllableInGame(t *symbolic.Transition) bool {
 }
 
 // reeval recomputes the winning sub-federation of one node; reports whether
-// it grew.
+// it grew. Serial-engine path: growth is applied under the solver's global
+// stamp and predecessors go back on the global re-evaluation queue.
 func (s *solver) reeval(id int) (bool, error) {
 	n := s.nodes[id]
 	if !n.explored {
@@ -393,7 +434,30 @@ func (s *solver) reeval(id int) (bool, error) {
 	if n.full {
 		return false, nil // already maximal
 	}
-	s.stats.Reevals++
+	delta := s.reevalCore(n, &s.stats)
+	if delta == nil {
+		return false, nil
+	}
+	s.stamp++
+	s.stats.Updates++
+	s.applyDelta(n, delta, s.stamp)
+	// Self-loops need no special casing: addPred records the node as its
+	// own predecessor, so the preds loop reschedules it (the parallel
+	// propagator in propagate.go relies on the same invariant).
+	for _, p := range n.preds {
+		s.scheduleReeval(p)
+	}
+	return true, nil
+}
+
+// reevalCore computes one application of the fixpoint operator at n and
+// returns the growth of its winning set (nil when it did not grow). It
+// reads only n and the winning sets of n's successors and writes nothing
+// but *st, so the parallel propagator may run it concurrently on nodes
+// whose successors are frozen (same component: same worker; downstream
+// component: already converged).
+func (s *solver) reevalCore(n *node, st *Stats) *dbm.Federation {
+	st.Reevals++
 
 	dim := s.sys.NumClocks()
 	// good shares zone pointers with n.goal and n.win — PredT never mutates
@@ -461,28 +525,22 @@ func (s *solver) reeval(id int) (bool, error) {
 	}
 	if delta.IsEmpty() {
 		delta.Recycle()
-		return false, nil
+		return nil
 	}
-	s.stamp++
-	s.stats.Updates++
-	n.deltas = append(n.deltas, winDelta{fed: delta, stamp: s.stamp})
+	return delta
+}
+
+// applyDelta grows n's winning set by delta under the given progress
+// stamp. Callers own the right to mutate n (the serial engine globally,
+// a propagation worker through component ownership).
+func (s *solver) applyDelta(n *node, delta *dbm.Federation, stamp int) {
+	n.deltas = append(n.deltas, winDelta{fed: delta, stamp: stamp})
 	n.win.Union(delta)
 	rest := n.zoneFed.Subtract(n.win)
 	if rest.IsEmpty() {
 		n.full = true
 	}
 	rest.Release()
-	for _, p := range n.preds {
-		s.scheduleReeval(p)
-	}
-	// Self-loops need the node itself rescheduled too.
-	for _, sc := range n.succs {
-		if sc.target == id {
-			s.scheduleReeval(id)
-			break
-		}
-	}
-	return true, nil
 }
 
 // forcedGood computes the forced-move contribution of a node: the
@@ -556,17 +614,25 @@ func (s *solver) forcedGood(n *node) *dbm.Federation {
 	return forced
 }
 
-// checkBudget samples the heap and enforces budgets.
+// checkBudget enforces the time budget on every call and samples the heap
+// for the memory budget once per 64 units of solver work (nodes explored +
+// re-evaluations). Throttling on work rather than on calls keeps
+// runtime.ReadMemStats — a stop-the-world pause — rare on the serial path
+// (which calls once per node; the former Reevals%64 condition held on every
+// one of those calls) while still sampling every round of the parallel
+// engines (which call once per frontier, however large).
 func (s *solver) checkBudget() error {
 	if s.opts.TimeBudget > 0 && time.Since(s.t0) > s.opts.TimeBudget {
 		return fmt.Errorf("%w: time budget %v", ErrBudget, s.opts.TimeBudget)
 	}
-	if s.stats.Reevals%64 == 0 {
+	if work := s.stats.Nodes + s.stats.Reevals; work-s.lastSampleWork >= 64 || s.budgetCalls == 0 {
+		s.lastSampleWork = work
 		s.sampleHeap()
 		if s.opts.MemBudget > 0 && s.stats.PeakHeapBytes > s.opts.MemBudget {
 			return fmt.Errorf("%w: memory budget %d bytes", ErrBudget, s.opts.MemBudget)
 		}
 	}
+	s.budgetCalls++
 	return nil
 }
 

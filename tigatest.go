@@ -138,9 +138,11 @@ func ParseFormula(sys *System, formula string, ranges map[string]Range) (*Formul
 // Synthesize parses the test purpose and solves the timed game, returning
 // winnability, statistics and — for winnable reachability objectives — a
 // winning strategy. opts may be nil for defaults. Synthesis explores the
-// zone graph on SolveOptions.Workers goroutines (all cores by default;
+// zone graph on SolveOptions.Workers goroutines and propagates winning
+// sets bottom-up over the SCC condensation on
+// SolveOptions.PropagationWorkers goroutines (all cores by default;
 // Workers: 1 forces the serial engine); the computed winning sets are
-// identical for every worker count.
+// semantically identical for every worker count.
 func Synthesize(sys *System, formula string, ranges map[string]Range, opts ...SolveOptions) (*SolveResult, error) {
 	f, err := ParseFormula(sys, formula, ranges)
 	if err != nil {
