@@ -100,9 +100,13 @@ func main() {
 					sp.Cell, sp.Workers, sp.Speedup, *minSpeedup))
 			}
 		}
+		// Symmetric: any cell of an unpaired family fails — whether the
+		// parallel cell skipped (baseline present, nothing to compare) or
+		// the workers=1 baseline itself skipped (a serial regression
+		// exhausting the budget is precisely what the gate must catch).
 		for _, bl := range rep.Benchmarks {
-			if m := workersRe.FindStringSubmatch(bl.Name); m != nil && m[2] == "1" && !paired[m[1]] {
-				fatal(fmt.Errorf("-min-speedup %.2f: %s has a workers=1 baseline but no parallel cell to compare (skipped?)", *minSpeedup, m[1]))
+			if m := workersRe.FindStringSubmatch(bl.Name); m != nil && !paired[m[1]] {
+				fatal(fmt.Errorf("-min-speedup %.2f: %s has no workers=1 vs workers=N pair to compare (baseline or parallel cell skipped?)", *minSpeedup, m[1]))
 			}
 		}
 	}

@@ -1,0 +1,166 @@
+// Command campaign runs a coverage-guided test campaign: it derives a
+// test suite from coverage goals of the specification (one synthesized
+// strategy per uncovered goal, strict game first with cooperative
+// fallback), executes every (strategy × implementation) cell in parallel
+// against the conformant implementation and seeded mutants, and reports
+// per-goal coverage, the verdict matrix and per-operator mutation scores.
+//
+// Usage:
+//
+//	campaign -model smartlight                      # edge coverage, all mutants
+//	campaign -model traingate -coverage all -json report.json
+//	campaign -model lep -n 3 -mutants 10 -seed 7 -workers 8
+//	campaign -file m.tga -plant P -coverage loc
+//	campaign -model smartlight -connect host:9000   # add a remote IUT row
+//
+// The canonical JSON report (-json) excludes wall-clock measurements, so
+// two runs with the same flags and -seed produce byte-identical files;
+// -timing adds the volatile timing section. Strategy synthesis defaults
+// to deterministic propagation; raising -prop-workers above 1 trades
+// byte-reproducibility of inconclusive-reason texts for solve speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tigatest/internal/campaign"
+	"tigatest/internal/dsl"
+	"tigatest/internal/game"
+	"tigatest/internal/model"
+	"tigatest/internal/models"
+	"tigatest/internal/tctl"
+)
+
+func main() {
+	var (
+		modelName   = flag.String("model", "", "built-in model: smartlight, traingate or lep (default smartlight when -file is absent)")
+		nodes       = flag.Int("n", 2, "LEP instance size (with -model lep)")
+		file        = flag.String("file", "", "model file in the tigatest DSL")
+		plantList   = flag.String("plant", "", "comma-separated plant process names (default: model convention / output emitters)")
+		coverage    = flag.String("coverage", "edge", "coverage goals: loc, edge or all")
+		mutants     = flag.Int("mutants", 0, "mutants: 0 = one per (operator, site), n > 0 = n seeded random, -1 = none")
+		workers     = flag.Int("workers", 0, "concurrent campaign cells (0 = all cores)")
+		repeats     = flag.Int("repeats", 1, "runs per (strategy x IUT) cell, with distinct derived seeds")
+		seed        = flag.Int64("seed", 1, "campaign seed (mutant sampling, per-repeat seeds)")
+		jsonOut     = flag.String("json", "", "write the JSON report to this file")
+		timing      = flag.Bool("timing", false, "include volatile wall-clock timings in the JSON report")
+		connect     = flag.String("connect", "", "also test a remote IUT served at this address (adapter protocol)")
+		solvWorkers = flag.Int("solver-workers", 1, "strategy-synthesis exploration workers (0 = all cores)")
+		propWorkers = flag.Int("prop-workers", 1, "propagation workers; > 1 is faster but makes reason texts schedule-dependent")
+	)
+	flag.Parse()
+
+	sys, env, plant, err := loadModel(*modelName, *file, *nodes, *plantList)
+	if err != nil {
+		fatal(err)
+	}
+	cov, err := campaign.ParseCoverage(*coverage)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep, err := campaign.Run(sys, env, campaign.Options{
+		Coverage:   cov,
+		Plant:      plant,
+		Mutants:    *mutants,
+		Workers:    *workers,
+		Repeats:    *repeats,
+		Seed:       *seed,
+		Solver:     game.Options{Workers: *solvWorkers, PropagationWorkers: *propWorkers},
+		RemoteAddr: *connect,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	rep.Render(os.Stdout)
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(f, *timing); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *jsonOut)
+	}
+
+	// Exit 2 when the campaign itself is defective: a winnable goal whose
+	// conformant run did not attain it, or a conformant failure.
+	defective := rep.Summary.Covered < rep.Summary.Coverable
+	for _, row := range rep.Matrix {
+		if row.IUT != "conformant" {
+			continue
+		}
+		for _, c := range row.Cells {
+			if c.Fail > 0 {
+				defective = true
+			}
+		}
+	}
+	if defective {
+		fmt.Fprintln(os.Stderr, "campaign: missed coverable goals or conformant failures (see report)")
+		os.Exit(2)
+	}
+}
+
+// loadModel resolves the specification, its parse environment and the
+// plant process indices.
+func loadModel(modelName, file string, nodes int, plantList string) (*model.System, *tctl.ParseEnv, []int, error) {
+	var sys *model.System
+	var env *tctl.ParseEnv
+	var plant []int
+	switch {
+	case file != "":
+		if modelName != "" {
+			return nil, nil, nil, fmt.Errorf("-model and -file are mutually exclusive")
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		f, err := dsl.Parse(string(data))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sys, env = f.Sys, f.ParseEnv()
+	case modelName == "" || modelName == "smartlight":
+		sys = models.SmartLight()
+		env = models.SmartLightEnv(sys)
+		plant = models.SmartLightPlant(sys)
+	case modelName == "traingate":
+		sys = models.TrainGate()
+		env = models.TrainGateEnv(sys)
+		plant = models.TrainGatePlant(sys)
+	case modelName == "lep":
+		sys = models.LEP(models.LEPOptions{Nodes: nodes})
+		env = models.LEPEnv(sys, nodes)
+		plant = models.LEPPlant(sys)
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown -model %q; use smartlight, traingate, lep or -file <path>", modelName)
+	}
+	if plantList != "" {
+		plant = nil
+		for _, name := range strings.Split(plantList, ",") {
+			name = strings.TrimSpace(name)
+			pi, ok := sys.ProcByName(name)
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("-plant: no process named %q in %s", name, sys.Name)
+			}
+			plant = append(plant, pi)
+		}
+	}
+	return sys, env, plant, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "campaign:", err)
+	os.Exit(1)
+}

@@ -14,8 +14,8 @@
 // the tigatest DSL (-file, like cmd/tiga). The plant — the processes that
 // play the implementation under test — defaults to the model's convention
 // (smartlight: the IUT process) or, for -file models, to every process
-// that emits on an uncontrollable (output) channel; -plant overrides it
-// with an explicit comma-separated process list.
+// that emits outputs or receives inputs; -plant overrides it with an
+// explicit comma-separated process list.
 package main
 
 import (
@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"tigatest/internal/adapter"
+	"tigatest/internal/campaign"
 	"tigatest/internal/dsl"
 	"tigatest/internal/game"
 	"tigatest/internal/model"
@@ -42,7 +43,7 @@ func main() {
 		file        = flag.String("file", "", "model file in the tigatest DSL")
 		formula     = flag.String("formula", "", "test purpose (default: the built-in model's standard purpose)")
 		plantList   = flag.String("plant", "", "comma-separated plant process names (default: model convention / output emitters)")
-		campaign    = flag.Bool("campaign", false, "run the mutation fault-detection campaign")
+		runCampaign = flag.Bool("campaign", false, "run the mutation fault-detection campaign")
 		perOp       = flag.Int("perop", 0, "mutants per operator in the campaign (0 = all)")
 		serve       = flag.String("serve", "", "serve a conformant IUT on this address instead of testing")
 		connect     = flag.String("connect", "", "test an IUT served at this address")
@@ -65,12 +66,15 @@ func main() {
 	}
 
 	if *serve != "" {
-		iut := tiots.NewDetIUT(model.ExtractPlant(spec, plant, "Stub"), tiots.Scale, nil)
-		srv, err := adapter.Serve(*serve, iut)
+		// Factory mode: every connecting driver gets its own isolated IUT
+		// instance, so parallel campaign cells can share this host.
+		srv, err := adapter.ServeFactory(*serve, func() tiots.IUT {
+			return tiots.NewDetIUT(model.ExtractPlant(spec, plant, "Stub"), tiots.Scale, nil)
+		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("serving a conformant %s implementation on %s (ctrl-c to stop)\n", spec.Name, srv.Addr())
+		fmt.Printf("serving conformant %s implementations on %s (ctrl-c to stop)\n", spec.Name, srv.Addr())
 		select {}
 	}
 
@@ -78,16 +82,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := game.Solve(spec, purpose, game.Options{Workers: *workers, PropagationWorkers: *propWorkers})
+	// Shared synthesis path (campaign cell runner): strict game first,
+	// cooperative fallback per the paper's Section 3.2 ordering.
+	res, err := campaign.Synthesize(spec, purpose, game.Options{Workers: *workers, PropagationWorkers: *propWorkers})
 	if err != nil {
 		fatal(err)
 	}
 	if !res.Winnable {
-		fatal(fmt.Errorf("test purpose %s is not winnable; no strategy to execute", src))
+		fatal(fmt.Errorf("test purpose %s is not winnable, even cooperatively; no strategy to execute", src))
 	}
-	fmt.Printf("synthesized winning strategy for %s (%d symbolic states)\n\n", purpose, res.Strategy.NumNodes())
+	mode := "winning"
+	if res.Strategy.Cooperative() {
+		mode = "cooperative"
+	}
+	fmt.Printf("synthesized %s strategy for %s (%d symbolic states)\n\n", mode, purpose, res.Strategy.NumNodes())
 
-	opts := texec.Options{PlantProcs: plant}
+	runner := &campaign.Runner{Strategy: res.Strategy, Exec: texec.Options{PlantProcs: plant}}
 
 	if *connect != "" {
 		cli, err := adapter.Dial(*connect)
@@ -95,30 +105,30 @@ func main() {
 			fatal(err)
 		}
 		defer cli.Close()
-		r := texec.Run(res.Strategy, cli, opts)
+		r := runner.RunOnce(cli)
 		fmt.Printf("remote IUT at %s: %s\n", *connect, r)
 		exitOn(r)
 		return
 	}
 
-	if !*campaign {
-		iut := tiots.NewDetIUT(model.ExtractPlant(spec, plant, "Stub"), tiots.Scale, nil)
-		r := texec.Run(res.Strategy, iut, opts)
+	if !*runCampaign {
+		impl := model.ExtractPlant(spec, plant, "Stub")
+		r := runner.RunOnce(tiots.NewDetIUT(impl, tiots.Scale, nil))
 		fmt.Printf("conformant implementation: %s\n", r)
 		fmt.Printf("trace: %s\n", r.Trace.Format(spec, tiots.Scale))
 		exitOn(r)
 		return
 	}
 
-	// Mutation campaign.
+	// Mutation campaign, one cell per mutant through the shared runner.
 	muts := mutate.All(spec, plant, *perOp)
 	fmt.Printf("fault-detection campaign: %d mutants\n\n", len(muts))
 	byOp := map[string][3]int{} // killed, passed, inconclusive
 	for _, m := range muts {
-		iut := tiots.NewDetIUT(model.ExtractPlant(m.Sys, plant, "Stub"), tiots.Scale, m.Policy)
-		r := texec.Run(res.Strategy, iut, opts)
+		factory := campaign.LocalIUT(model.ExtractPlant(m.Sys, plant, "Stub"), tiots.Scale, m.Policy)
+		tally := runner.RunCell(factory, 1, 0)
 		counts := byOp[m.Operator]
-		switch r.Verdict {
+		switch tally.Verdict() {
 		case texec.Fail:
 			counts[0]++
 		case texec.Pass:
@@ -127,7 +137,7 @@ func main() {
 			counts[2]++
 		}
 		byOp[m.Operator] = counts
-		fmt.Printf("  %-60s %s\n", m.Description, r.Verdict)
+		fmt.Printf("  %-60s %s\n", m.Description, tally.Verdict())
 	}
 	fmt.Println()
 	ops := make([]string, 0, len(byOp))
@@ -183,8 +193,8 @@ func loadSpec(modelName, file, formula string) (*dsl.File, string, error) {
 
 // resolvePlant determines which processes play the implementation under
 // test: an explicit -plant list, the built-in model's convention, or — for
-// file models — every process that emits on an uncontrollable channel
-// (outputs are what the implementation produces, Def. 3).
+// file models — the texec.GuessPlantProcs default (processes emitting
+// outputs or receiving inputs, the conventional IUT shape of Def. 3).
 func resolvePlant(spec *model.System, builtin bool, plantList string) ([]int, error) {
 	if plantList != "" {
 		var plant []int
@@ -201,22 +211,11 @@ func resolvePlant(spec *model.System, builtin bool, plantList string) ([]int, er
 	if builtin {
 		return models.SmartLightPlant(spec), nil
 	}
-	var plant []int
-	for pi, p := range spec.Procs {
-		emits := false
-		for ei := range p.Edges {
-			e := &p.Edges[ei]
-			if e.Dir == model.Emit && e.Chan >= 0 && spec.Channels[e.Chan].Kind == model.Uncontrollable {
-				emits = true
-				break
-			}
-		}
-		if emits {
-			plant = append(plant, pi)
-		}
-	}
+	// The canonical default, shared with texec.Run and cmd/campaign:
+	// processes that emit outputs or receive inputs.
+	plant := texec.GuessPlantProcs(spec)
 	if len(plant) == 0 {
-		return nil, fmt.Errorf("no process of %s emits an output; name the plant explicitly with -plant", spec.Name)
+		return nil, fmt.Errorf("no process of %s emits an output or receives an input; name the plant explicitly with -plant", spec.Name)
 	}
 	return plant, nil
 }

@@ -19,30 +19,50 @@ import (
 
 // message is one protocol frame.
 type message struct {
-	Type  string `json:"type"`            // "reset", "offer", "advance", "ok", "output", "quiet", "error"
+	Type  string `json:"type"`            // "reset", "seed", "offer", "advance", "ok", "output", "quiet", "error"
 	Chan  int    `json:"chan,omitempty"`  // channel index for offer/output
 	Ticks int64  `json:"ticks,omitempty"` // advance budget / output offset
+	Seed  int64  `json:"seed,omitempty"`  // rng seed for randomized IUTs
 	Err   string `json:"err,omitempty"`
 }
 
-// Server hosts an IUT on a listener. One connection is served at a time
-// (test drivers own the IUT exclusively).
+// Server hosts implementations on a listener. In factory mode
+// (ServeFactory) every accepted connection gets its own IUT instance and
+// its own serving goroutine, so many test drivers — e.g. parallel
+// campaign cells — run concurrent, fully isolated sessions. The legacy
+// single-IUT mode (Serve) keeps the exclusive-owner discipline: one
+// connection is served at a time and later dials queue behind it.
 type Server struct {
-	iut tiots.IUT
-	ln  net.Listener
+	factory func() tiots.IUT
+	// serial serves sessions one at a time on a single shared IUT (the
+	// pre-factory behavior: test drivers own the IUT exclusively).
+	serial bool
+	ln     net.Listener
 
 	mu     sync.Mutex
 	closed bool
 }
 
-// Serve starts a server on addr (e.g. "127.0.0.1:0") and returns it; the
-// chosen address is available via Addr.
+// Serve starts a server on addr (e.g. "127.0.0.1:0") exposing one shared
+// IUT; sessions are served sequentially because concurrent drivers would
+// corrupt its single state. The chosen address is available via Addr.
 func Serve(addr string, iut tiots.IUT) (*Server, error) {
+	return serve(addr, func() tiots.IUT { return iut }, true)
+}
+
+// ServeFactory starts a server on addr that builds a fresh IUT per
+// connection and serves every session concurrently. Use this to host
+// implementations for parallel test campaigns.
+func ServeFactory(addr string, factory func() tiots.IUT) (*Server, error) {
+	return serve(addr, factory, false)
+}
+
+func serve(addr string, factory func() tiots.IUT, serial bool) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{iut: iut, ln: ln}
+	s := &Server{factory: factory, serial: serial, ln: ln}
 	go s.loop()
 	return s, nil
 }
@@ -50,7 +70,8 @@ func Serve(addr string, iut tiots.IUT) (*Server, error) {
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
+// Close stops accepting sessions. Active sessions end when their
+// connections do (drivers close their side after a run).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -70,11 +91,15 @@ func (s *Server) loop() {
 			}
 			continue
 		}
-		s.handle(conn)
+		if s.serial {
+			s.handle(conn, s.factory())
+		} else {
+			go s.handle(conn, s.factory())
+		}
 	}
 }
 
-func (s *Server) handle(conn net.Conn) {
+func (s *Server) handle(conn net.Conn, iut tiots.IUT) {
 	defer conn.Close()
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
@@ -85,16 +110,23 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		switch m.Type {
 		case "reset":
-			s.iut.Reset()
+			iut.Reset()
+			_ = enc.Encode(message{Type: "ok"})
+		case "seed":
+			// Randomized implementations accept a per-run seed;
+			// deterministic ones simply have nothing to reseed.
+			if s, ok := iut.(tiots.Seeder); ok {
+				s.Seed(m.Seed)
+			}
 			_ = enc.Encode(message{Type: "ok"})
 		case "offer":
-			if err := s.iut.Offer(m.Chan); err != nil {
+			if err := iut.Offer(m.Chan); err != nil {
 				_ = enc.Encode(message{Type: "error", Err: err.Error()})
 				continue
 			}
 			_ = enc.Encode(message{Type: "ok"})
 		case "advance":
-			out := s.iut.Advance(m.Ticks)
+			out := iut.Advance(m.Ticks)
 			if out == nil {
 				_ = enc.Encode(message{Type: "quiet"})
 			} else {
@@ -157,6 +189,14 @@ func (c *Client) roundTrip(m message) (message, error) {
 // Reset implements tiots.IUT.
 func (c *Client) Reset() {
 	_, _ = c.roundTrip(message{Type: "reset"})
+}
+
+// Seed forwards a per-run rng seed to the remote implementation
+// (tiots.Seeder over the wire). Deterministic hosts acknowledge and
+// ignore it.
+func (c *Client) Seed(seed int64) error {
+	_, err := c.roundTrip(message{Type: "seed", Seed: seed})
+	return err
 }
 
 // Offer implements tiots.IUT.

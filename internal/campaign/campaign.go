@@ -1,0 +1,124 @@
+// Package campaign turns the single-shot test machinery into a
+// coverage-guided test campaign engine, the paper's future-work item of
+// "evaluating strategy-based test effectiveness in terms of fault
+// detecting capability" at suite scale:
+//
+//  1. Plan — enumerate coverage goals from the specification (plant
+//     locations and observable plant edges), synthesize one reachability
+//     purpose per uncovered goal through a shared game.Batch (strict game
+//     first, cooperative fallback, the paper's Section 3.2 ordering), and
+//     greedily drop goals already covered by an earlier strategy's play
+//     footprint (game.Cover).
+//  2. Execute — run every (strategy × implementation) cell on a worker
+//     pool: the conformant extraction of the specification, seeded mutants
+//     from internal/mutate, and optionally an adapter-hosted remote IUT;
+//     each cell is repeated with per-repeat seeds derived from the
+//     campaign seed.
+//  3. Score — aggregate a Report: per-goal coverage, the verdict matrix,
+//     per-operator mutation scores, and solver statistics, serialized as
+//     canonical (byte-reproducible) JSON.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"tigatest/internal/game"
+	"tigatest/internal/model"
+	"tigatest/internal/tctl"
+	"tigatest/internal/texec"
+)
+
+// Options configure a campaign.
+type Options struct {
+	// Coverage selects the goal kinds to enumerate (default: edges).
+	Coverage Coverage
+	// Plant are the implementation-side process indices in the
+	// specification (default: texec.GuessPlantProcs).
+	Plant []int
+	// Mutants selects the faulty implementations: 0 generates one mutant
+	// per (operator, site) pair, n > 0 samples n random mutants with the
+	// campaign seed, and n < 0 disables mutation analysis.
+	Mutants int
+	// Workers is the number of concurrent cell executors
+	// (0 = runtime.GOMAXPROCS).
+	Workers int
+	// Repeats runs every cell this many times with distinct derived seeds
+	// (default 1). Deterministic implementations repeat identically;
+	// randomized adapters and policies get fresh seeds.
+	Repeats int
+	// Seed makes the campaign reproducible: it drives mutant sampling and
+	// the per-repeat seeds.
+	Seed int64
+	// Solver configures strategy synthesis. For byte-reproducible reports
+	// keep PropagationWorkers at 1 (propagation stamps are
+	// schedule-dependent above that; see DESIGN.md).
+	Solver game.Options
+	// Exec configures test execution (PlantProcs defaults to Plant).
+	Exec texec.Options
+	// RemoteAddr optionally adds an adapter-hosted IUT row to the matrix;
+	// every run dials its own connection, so the server must accept
+	// concurrent sessions (adapter.ServeFactory).
+	RemoteAddr string
+}
+
+func (o *Options) withDefaults(sys *model.System) Options {
+	opts := *o
+	if opts.Coverage == 0 {
+		opts.Coverage = CoverEdges
+	}
+	if len(opts.Plant) == 0 {
+		opts.Plant = texec.GuessPlantProcs(sys)
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Repeats <= 0 {
+		opts.Repeats = 1
+	}
+	if opts.Solver.PropagationWorkers == 0 {
+		// The default must keep reports byte-reproducible: propagation
+		// stamps above one worker are schedule-dependent and can reorder
+		// strategy decisions (and thus reason texts). Callers wanting the
+		// speed opt in explicitly.
+		opts.Solver.PropagationWorkers = 1
+	}
+	if len(opts.Exec.PlantProcs) == 0 {
+		opts.Exec.PlantProcs = opts.Plant
+	}
+	return opts
+}
+
+// Run plans, executes and scores a campaign against the specification.
+// env supplies the symbols for the generated test purposes (usually
+// dsl.File.ParseEnv or a models helper).
+func Run(sys *model.System, env *tctl.ParseEnv, o Options) (*Report, error) {
+	opts := o.withDefaults(sys)
+	if len(opts.Plant) == 0 {
+		return nil, fmt.Errorf("campaign: no plant processes (name them explicitly)")
+	}
+
+	t0 := time.Now()
+	suite, err := Plan(sys, env, &opts)
+	if err != nil {
+		return nil, err
+	}
+	planMS := time.Since(t0).Milliseconds()
+
+	t1 := time.Now()
+	rows, err := BuildIUTs(sys, &opts)
+	if err != nil {
+		return nil, err
+	}
+	matrix := Execute(suite, rows, &opts)
+	execMS := time.Since(t1).Milliseconds()
+
+	rep := assembleReport(sys, suite, rows, matrix, &opts)
+	rep.Volatile = &Volatile{
+		PlanMS:  planMS,
+		ExecMS:  execMS,
+		TotalMS: time.Since(t0).Milliseconds(),
+	}
+	return rep, nil
+}

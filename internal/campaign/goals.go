@@ -1,0 +1,116 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"tigatest/internal/game"
+	"tigatest/internal/model"
+)
+
+// Coverage is a bit set of goal kinds.
+type Coverage int
+
+const (
+	// CoverLocations targets every location of every plant process.
+	CoverLocations Coverage = 1 << iota
+	// CoverEdges targets every observable plant edge: inputs the plant
+	// receives on controllable channels and outputs it emits on
+	// uncontrollable ones (internal tau edges are invisible to the tester
+	// and are not goals).
+	CoverEdges
+)
+
+// ParseCoverage resolves the CLI spelling of a coverage selection.
+func ParseCoverage(s string) (Coverage, error) {
+	var cov Coverage
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "loc", "location", "locations":
+			cov |= CoverLocations
+		case "edge", "edges":
+			cov |= CoverEdges
+		case "all":
+			cov |= CoverLocations | CoverEdges
+		default:
+			return 0, fmt.Errorf("campaign: unknown coverage kind %q (use loc, edge or all)", part)
+		}
+	}
+	return cov, nil
+}
+
+func (c Coverage) String() string {
+	switch {
+	case c&CoverLocations != 0 && c&CoverEdges != 0:
+		return "loc,edge"
+	case c&CoverLocations != 0:
+		return "loc"
+	default:
+		return "edge"
+	}
+}
+
+// Goal is one coverage target derived from the specification.
+type Goal struct {
+	// Name identifies the goal in reports: "loc:IUT.Off" or
+	// "edge:IUT.Off--touch?->L5".
+	Name string
+	// Kind is "loc" or "edge".
+	Kind string
+	// Purpose is the generated reachability test purpose used to
+	// synthesize a strategy for this goal.
+	Purpose string
+	// Proc/Loc locate a location goal.
+	Proc, Loc int
+	// EdgeID is the global model edge id of an edge goal.
+	EdgeID int
+}
+
+// InCover reports whether the goal lies in a strategy footprint.
+func (g *Goal) InCover(c *game.Cover) bool {
+	if g.Kind == "loc" {
+		return c.HasLoc(g.Proc, g.Loc)
+	}
+	return c.HasEdge(g.EdgeID)
+}
+
+// EnumerateGoals lists the coverage goals of the plant part of the
+// specification in deterministic model order: per process, locations
+// first, then observable edges. Location goals generate plain location
+// purposes; edge goals are synthesized on a ghost-instrumented clone (see
+// instrumentEdge) whose purpose holds exactly after the edge fires, so
+// "covered" means the edge itself is traversed, not merely its target
+// location reached.
+func EnumerateGoals(sys *model.System, plant []int, cov Coverage) []*Goal {
+	var out []*Goal
+	for _, pi := range plant {
+		p := sys.Procs[pi]
+		if cov&CoverLocations != 0 {
+			for li := range p.Locations {
+				out = append(out, &Goal{
+					Name:    "loc:" + p.Name + "." + p.Locations[li].Name,
+					Kind:    "loc",
+					Purpose: fmt.Sprintf("control: A<> %s.%s", p.Name, p.Locations[li].Name),
+					Proc:    pi,
+					Loc:     li,
+				})
+			}
+		}
+		if cov&CoverEdges != 0 {
+			for ei := range p.Edges {
+				e := &p.Edges[ei]
+				if e.Dir == model.NoSync {
+					continue
+				}
+				out = append(out, &Goal{
+					Name:    "edge:" + sys.EdgeLabel(e),
+					Kind:    "edge",
+					Purpose: fmt.Sprintf("control: A<> traversed(%s)", sys.EdgeLabel(e)),
+					Proc:    pi,
+					EdgeID:  e.ID,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package campaign
+
+import (
+	"fmt"
+
+	"tigatest/internal/expr"
+	"tigatest/internal/model"
+	"tigatest/internal/tctl"
+)
+
+// ghostVar is the watch variable instrumentEdge plants; uniquified if the
+// model already declares it.
+const ghostVar = "campaign_hit"
+
+// instrumentEdge returns a clone of the specification in which traversing
+// the watched edge is a state property: a fresh 0/1 ghost variable is set
+// by the edge's assignments, and the returned purpose is `A<> ghost == 1`.
+// This is the standard observer construction for edge-coverage goals —
+// reaching the edge's target location does not prove the edge fired
+// (other edges may enter it), but the ghost assignment does. The ghost is
+// written, never read, so the instrumented network has exactly the
+// original behaviors; the discrete state space at most doubles.
+//
+// display becomes the formula's Source (what reports show); the formula
+// itself is built programmatically, so it never has to parse.
+func instrumentEdge(sys *model.System, edgeID int, display string) (*model.System, *tctl.Formula, error) {
+	c := sys.Clone()
+	// Clone shares the (normally immutable) variable table; rebuild it so
+	// the ghost declaration cannot leak into the original specification.
+	// Re-declaring in order reproduces every offset, so variable
+	// references inside existing guards and assignments stay valid.
+	vars := expr.NewTable()
+	for i := 0; i < sys.Vars.NumDecls(); i++ {
+		d := sys.Vars.Decl(i)
+		if _, err := vars.Declare(d); err != nil {
+			return nil, nil, fmt.Errorf("campaign: instrumenting: %w", err)
+		}
+	}
+	name := ghostVar
+	for n := 2; ; n++ {
+		if _, taken := vars.Lookup(name); !taken {
+			break
+		}
+		name = fmt.Sprintf("%s%d", ghostVar, n)
+	}
+	if _, err := vars.Declare(expr.VarDecl{Name: name, Min: 0, Max: 1}); err != nil {
+		return nil, nil, fmt.Errorf("campaign: instrumenting: %w", err)
+	}
+	c.Vars = vars
+
+	e := c.EdgeByID(edgeID)
+	if e == nil {
+		return nil, nil, fmt.Errorf("campaign: no edge with id %d", edgeID)
+	}
+	ghost, err := expr.NewVar(vars, name, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.Assigns = append(e.Assigns, expr.Assign{Target: ghost, Value: expr.Lit(1)})
+
+	f := &tctl.Formula{
+		Objective: tctl.Reach,
+		Prop:      &tctl.PData{E: expr.NewBin(expr.OpEq, ghost, expr.Lit(1))},
+		Source:    display,
+	}
+	return c, f, nil
+}

@@ -1,0 +1,290 @@
+package campaign
+
+import (
+	"fmt"
+
+	"tigatest/internal/game"
+	"tigatest/internal/model"
+	"tigatest/internal/tctl"
+	"tigatest/internal/texec"
+	"tigatest/internal/tiots"
+)
+
+// Goal statuses after planning.
+const (
+	// StatusCovered: an executed suite strategy's conformant run traverses
+	// the goal.
+	StatusCovered = "covered"
+	// StatusUnwinnable: the goal's purpose is not winnable even
+	// cooperatively, or no winnable strategy can traverse the goal.
+	// Excluded from the coverable set: no test suite could cover it.
+	StatusUnwinnable = "unwinnable"
+	// StatusUngranted: a cooperative strategy covers the goal in the
+	// game, but the conformant implementation's determinization never
+	// grants the hoped-for outputs (its run ended inconclusive). Excluded
+	// from the coverable set: the implementation, not the suite, is the
+	// limiter.
+	StatusUngranted = "ungranted"
+	// StatusMissed: a winnable strategy should have attained the goal
+	// but its conformant run did not pass — a campaign or solver defect.
+	// Counted coverable, so it drags attained coverage below 100%.
+	StatusMissed = "missed"
+)
+
+// PlannedGoal is a goal with its planning outcome.
+type PlannedGoal struct {
+	*Goal
+	// Status is one of the Status constants above.
+	Status string
+	// By is the suite entry covering the goal (-1 when uncovered).
+	By int
+	// Reason explains an uncovered goal.
+	Reason string
+}
+
+// SuiteEntry is one synthesized strategy of the campaign suite. Every
+// entry is execution-verified: its strategy passed against the conformant
+// implementation during planning, and the goals it covers were traversed
+// by that run's trace (not merely claimed by the strategy graph).
+type SuiteEntry struct {
+	// Index of the entry in the suite.
+	Index int
+	// Purpose is the solved test purpose.
+	Purpose string
+	// SourceGoal names the uncovered goal that triggered synthesis.
+	SourceGoal string
+	// Cooperative marks fallback strategies that rely on helpful plant
+	// outputs (their misses are inconclusive, never failures).
+	Cooperative bool
+	// Strategy drives test execution.
+	Strategy *game.Strategy
+	// ConformantTrace is the observable trace of the planning run against
+	// the conformant implementation (deterministic, so it is part of the
+	// canonical report).
+	ConformantTrace string
+	// Nodes/Transitions are the solver's explored graph size (identical
+	// for every worker count, so safe for canonical reports).
+	Nodes, Transitions int
+}
+
+// Suite is the planned campaign: the strategy set plus the per-goal
+// coverage annotation.
+type Suite struct {
+	Entries []*SuiteEntry
+	Goals   []*PlannedGoal
+}
+
+// Covered counts goals with StatusCovered.
+func (s *Suite) Covered() int {
+	n := 0
+	for _, g := range s.Goals {
+		if g.Status == StatusCovered {
+			n++
+		}
+	}
+	return n
+}
+
+// Coverable counts goals some test suite could cover against the
+// conformant implementation: covered ones plus misses (which indicate a
+// defect), excluding unwinnable and ungranted goals.
+func (s *Suite) Coverable() int {
+	n := 0
+	for _, g := range s.Goals {
+		if g.Status == StatusCovered || g.Status == StatusMissed {
+			n++
+		}
+	}
+	return n
+}
+
+// Synthesize solves the purpose with the paper's Section 3.2 ordering:
+// the strict game first and, when that is not winnable, the cooperative
+// game (all plant outputs treated as helpful). The returned result is nil
+// only alongside an error; an unwinnable purpose (even cooperatively)
+// returns Winnable == false.
+func Synthesize(sys *model.System, f *tctl.Formula, opts game.Options) (*game.Result, error) {
+	strictOpts := opts
+	strictOpts.TreatAllControllable = false
+	res, err := game.Solve(sys, f, strictOpts)
+	if err != nil {
+		return nil, err
+	}
+	if res.Winnable {
+		return res, nil
+	}
+	coopOpts := opts
+	coopOpts.TreatAllControllable = true
+	return game.Solve(sys, f, coopOpts)
+}
+
+// synthesizeForGoal mirrors Synthesize on a shared batch, additionally
+// requiring the strategy footprint (game.Cover, the may-reach play
+// extraction) to contain the goal: a strict strategy that wins its
+// purpose without being able to traverse the goal falls through to the
+// cooperative game, whose wider footprint may still cover it.
+func synthesizeForGoal(b *game.Batch, f *tctl.Formula, g *Goal) (*game.Result, *game.Cover, error) {
+	var fallback *game.Result
+	var fallbackCover *game.Cover
+	for _, coop := range []bool{false, true} {
+		res, err := b.Solve(f, coop)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !res.Winnable {
+			continue
+		}
+		cov := res.Strategy.PlayCover()
+		if g.InCover(cov) {
+			return res, cov, nil
+		}
+		if fallback == nil {
+			fallback, fallbackCover = res, cov
+		}
+	}
+	// A winnable but goal-missing strategy is still reported (so the
+	// caller can distinguish "unwinnable" from "misses the goal"); nil
+	// means unwinnable.
+	return fallback, fallbackCover, nil
+}
+
+// Plan enumerates goals and derives the suite by greedy, execution-backed
+// subsumption: goals are visited in model order; a goal already traversed
+// by an earlier entry's conformant run is recorded as covered by it;
+// every still-uncovered goal triggers one synthesis (strict game first,
+// cooperative fallback; edge goals on a ghost-instrumented clone). The
+// candidate strategy is then executed once against the conformant
+// implementation — only a passing run whose replayed trace traverses the
+// goal admits the entry, which is what makes the coverage claim a
+// coverage-attained claim (the feedback loop of adaptive
+// specification-coverage testing).
+func Plan(sys *model.System, env *tctl.ParseEnv, opts *Options) (*Suite, error) {
+	goals := EnumerateGoals(sys, opts.Plant, opts.Coverage)
+	batch, err := game.NewBatch(sys, opts.Solver)
+	if err != nil {
+		return nil, err
+	}
+
+	suite := &Suite{}
+	for _, g := range goals {
+		suite.Goals = append(suite.Goals, &PlannedGoal{Goal: g, By: -1})
+	}
+
+	impl := model.ExtractPlant(sys, opts.Plant, "Stub")
+	scale := opts.Exec.Scale
+	if scale <= 0 {
+		scale = tiots.Scale
+	}
+	var covers []*execCover // executed footprint per entry
+	coveredBy := func(g *Goal) int {
+		for i, ec := range covers {
+			if ec.has(g) {
+				return i
+			}
+		}
+		return -1
+	}
+	// Deferred (not-yet-covered) goal verdicts, by goal name; a later
+	// entry's trace may still override them with covered.
+	type miss struct{ status, reason string }
+	misses := map[string]miss{}
+
+	for _, pg := range suite.Goals {
+		if by := coveredBy(pg.Goal); by >= 0 {
+			pg.Status, pg.By = StatusCovered, by
+			continue
+		}
+		var res *game.Result
+		var cov *game.Cover
+		if pg.Kind == "edge" {
+			// Edge goals solve on a ghost-instrumented clone: the purpose
+			// holds exactly after the watched edge fires. The instrumented
+			// model gets its own two-solve (strict, cooperative) batch.
+			isys, f, ierr := instrumentEdge(sys, pg.EdgeID, pg.Purpose)
+			if ierr != nil {
+				misses[pg.Name] = miss{StatusMissed, "instrumentation: " + ierr.Error()}
+				continue
+			}
+			ib, berr := game.NewBatch(isys, opts.Solver)
+			if berr != nil {
+				return nil, berr
+			}
+			res, cov, err = synthesizeForGoal(ib, f, pg.Goal)
+		} else {
+			f, perr := tctl.Parse(env, pg.Purpose)
+			if perr != nil {
+				misses[pg.Name] = miss{StatusMissed, "purpose parse error: " + perr.Error()}
+				continue
+			}
+			res, cov, err = synthesizeForGoal(batch, f, pg.Goal)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("campaign: solving %s for %s: %w", pg.Purpose, pg.Name, err)
+		}
+		if res == nil {
+			misses[pg.Name] = miss{StatusUnwinnable, "purpose not winnable, even cooperatively"}
+			continue
+		}
+		if !pg.InCover(cov) {
+			misses[pg.Name] = miss{StatusUnwinnable, "every winnable strategy reaches its purpose without traversing the goal"}
+			continue
+		}
+
+		// Execution check: the strategy must actually attain its goal
+		// against the conformant implementation. Cooperative hopes the
+		// implementation's determinization never grants die here; a
+		// strict strategy missing its own goal is a defect and is
+		// reported as such.
+		runner := &Runner{Strategy: res.Strategy, Exec: opts.Exec}
+		r := runner.RunOnce(tiots.NewDetIUT(impl, scale, nil))
+		if r.Verdict != texec.Pass {
+			reason := "conformant run: " + r.Verdict.String() + " (" + r.Reason + ")"
+			if res.Strategy.Cooperative() && r.Verdict == texec.Inconclusive {
+				misses[pg.Name] = miss{StatusUngranted, reason}
+			} else {
+				misses[pg.Name] = miss{StatusMissed, reason}
+			}
+			continue
+		}
+		ec := replayCover(impl, opts.Plant, r.Trace, scale)
+		entry := &SuiteEntry{
+			Index:           len(suite.Entries),
+			Purpose:         pg.Purpose,
+			SourceGoal:      pg.Name,
+			Cooperative:     res.Strategy.Cooperative(),
+			Strategy:        res.Strategy,
+			ConformantTrace: r.Trace.Format(res.Strategy.System(), scale),
+			Nodes:           res.Stats.Nodes,
+			Transitions:     res.Stats.Transitions,
+		}
+		suite.Entries = append(suite.Entries, entry)
+		covers = append(covers, ec)
+		// Covered means the REPLAYED run traversed the goal — the same
+		// evidence other goals are subsumed on. A pass whose replay lacks
+		// the goal (strategy-side and implementation-side tie-breaks
+		// diverged) is an engine defect, not coverage.
+		if ec.has(pg.Goal) {
+			pg.Status, pg.By = StatusCovered, entry.Index
+		} else {
+			misses[pg.Name] = miss{StatusMissed, "conformant run passed but its replayed trace does not traverse the goal"}
+		}
+	}
+
+	// Sweep: deferred goals may have been traversed by a later entry.
+	for _, pg := range suite.Goals {
+		if pg.Status != "" {
+			continue
+		}
+		if by := coveredBy(pg.Goal); by >= 0 {
+			pg.Status, pg.By = StatusCovered, by
+			continue
+		}
+		if m, ok := misses[pg.Name]; ok {
+			pg.Status, pg.Reason = m.status, m.reason
+		} else {
+			pg.Status = StatusUnwinnable
+			pg.Reason = "every winnable strategy reaches its purpose without traversing the goal"
+		}
+	}
+	return suite, nil
+}

@@ -1,0 +1,74 @@
+package campaign
+
+import (
+	"tigatest/internal/model"
+	"tigatest/internal/tiots"
+)
+
+// execCover is the exact footprint of executed test runs: plant locations
+// visited and plant edges traversed, in specification coordinates.
+type execCover struct {
+	locs  map[[2]int]bool // (spec process index, location index)
+	edges map[int]bool    // spec edge IDs
+}
+
+func newExecCover() *execCover {
+	return &execCover{locs: map[[2]int]bool{}, edges: map[int]bool{}}
+}
+
+func (c *execCover) has(g *Goal) bool {
+	if g.Kind == "loc" {
+		return c.locs[[2]int{g.Proc, g.Loc}]
+	}
+	return c.edges[g.EdgeID]
+}
+
+func (c *execCover) merge(o *execCover) {
+	for k := range o.locs {
+		c.locs[k] = true
+	}
+	for id := range o.edges {
+		c.edges[id] = true
+	}
+}
+
+// replayCover replays an observable trace through the implementation
+// network and collects the plant locations and edges it exercises. impl
+// must be an ExtractPlant of the specification: its first len(plant)
+// processes are the plant processes (spec indices plant[i], edge IDs
+// preserved); the trailing stub is ignored. Action events resolve to the
+// first enabled transition on their channel, mirroring the deterministic
+// interpreter's tie-break, and inputs without an enabled edge are skipped
+// (strong input-enabledness: the button does nothing).
+func replayCover(impl *model.System, plant []int, tr tiots.Trace, scale int64) *execCover {
+	out := newExecCover()
+	ip := tiots.NewInterp(impl, scale)
+	note := func() {
+		for k, pi := range plant {
+			out.locs[[2]int{pi, ip.St.Locs[k]}] = true
+		}
+	}
+	note()
+	for _, ev := range tr {
+		if ev.IsDelay() {
+			ip.Advance(ev.Delay)
+			continue
+		}
+		for _, t := range ip.Enabled() {
+			if t.Chan != ev.Chan {
+				continue
+			}
+			if ip.Take(t) != nil {
+				return out
+			}
+			for _, e := range t.Edges {
+				if e.Proc < len(plant) {
+					out.edges[e.ID] = true
+				}
+			}
+			note()
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+// Batch solving: many test purposes against one model.
+//
+// A test campaign derives one reachability purpose per coverage goal, so it
+// solves dozens of formulas over the SAME network. Forward exploration —
+// firing every edge, canonicalizing and extrapolating zones — depends on
+// the formula only through its extrapolation constants (clock atoms widen
+// the per-clock maxima); the propagation fixpoint is what actually differs
+// per purpose. A Batch therefore explores the full zone graph once per
+// extrapolation signature and replays only the backward fixpoint for each
+// purpose: fresh nodes share the immutable skeleton (symbolic states, zone
+// federations, successor/predecessor wiring) and get their own goal and
+// winning federations. The strict and cooperative games of the paper's
+// Section 3.2 reuse the same skeleton too — cooperativity changes which
+// player owns a transition, never the graph.
+package game
+
+import (
+	"fmt"
+
+	"tigatest/internal/dbm"
+	"tigatest/internal/model"
+	"tigatest/internal/symbolic"
+	"tigatest/internal/tctl"
+)
+
+// skeleton is one fully explored zone graph, reusable across purposes that
+// share its extrapolation constants. All fields are immutable after build.
+type skeleton struct {
+	ex          *symbolic.Explorer
+	nodes       []*node // win/goal/deltas of these nodes are never read again
+	transitions int
+}
+
+// Batch solves a sequence of reachability purposes against one system,
+// reusing one solver configuration (and one explored zone graph per
+// extrapolation signature) across them. Not safe for concurrent use.
+type Batch struct {
+	sys    *model.System
+	opts   Options
+	graphs map[string]*skeleton
+}
+
+// NewBatch prepares batch solving of sys under the given options. The
+// Algorithm field is ignored: batch solving is inherently the Backward
+// shape (explore everything once, then per-purpose fixpoints); Workers
+// parallelizes the shared exploration and PropagationWorkers each
+// per-purpose fixpoint.
+func NewBatch(sys *model.System, opts Options) (*Batch, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return &Batch{sys: sys, opts: opts, graphs: map[string]*skeleton{}}, nil
+}
+
+// maxSignature keys skeletons by their per-clock extrapolation constants.
+func maxSignature(max []int) string {
+	sig := make([]byte, 0, len(max)*3)
+	for _, m := range max {
+		sig = append(sig, byte(m), byte(m>>8), byte(m>>16))
+	}
+	return string(sig)
+}
+
+// newSolver builds a solver shell for one purpose against the batch system.
+func (b *Batch) newSolver(formula *tctl.Formula, coop bool) *solver {
+	opts := b.opts
+	opts.Algorithm = Backward
+	opts.TreatAllControllable = coop
+	s := newSolverShell(b.sys, formula, opts)
+	return s
+}
+
+// Solve checks one reachability purpose, reusing the explored graph when
+// its extrapolation signature has been seen before. coop selects the
+// cooperative game (all transitions treated controllable — the paper's
+// fallback when the strict game is not winnable).
+func (b *Batch) Solve(formula *tctl.Formula, coop bool) (*Result, error) {
+	if formula.Objective != tctl.Reach {
+		return nil, fmt.Errorf("game: batch solving supports reachability purposes only, got %s", formula.Objective)
+	}
+	s := b.newSolver(formula, coop)
+	sig := maxSignature(s.sys.MaxConstants(formula.ClockConstraints()))
+	sk, ok := b.graphs[sig]
+	if !ok {
+		var err error
+		if sk, err = b.explore(s); err != nil {
+			return nil, err
+		}
+		b.graphs[sig] = sk
+	}
+	return s.solveOnSkeleton(sk)
+}
+
+// explore runs the forward phase once and freezes the resulting graph as a
+// reusable skeleton. The driving solver's formula only influenced the
+// extrapolation constants, so the skeleton is formula-independent within
+// its signature.
+func (b *Batch) explore(s *solver) (*skeleton, error) {
+	init, err := s.ex.Initial()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.addNode(init); err != nil {
+		return nil, err
+	}
+	if s.workers > 1 {
+		for len(s.exploreQ) > 0 {
+			if err := s.checkBudget(); err != nil {
+				return nil, err
+			}
+			frontier := s.exploreQ
+			s.exploreQ = nil
+			if err := s.exploreBatch(frontier); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for len(s.exploreQ) > 0 {
+			if err := s.checkBudget(); err != nil {
+				return nil, err
+			}
+			id := s.exploreQ[len(s.exploreQ)-1]
+			s.exploreQ = s.exploreQ[:len(s.exploreQ)-1]
+			if err := s.explore(id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &skeleton{ex: s.ex, nodes: s.nodes, transitions: s.stats.Transitions}, nil
+}
+
+// solveOnSkeleton clones the skeleton into the solver (sharing the
+// immutable parts, owning fresh goal/win federations) and runs the
+// backward fixpoint for the solver's own formula.
+func (s *solver) solveOnSkeleton(sk *skeleton) (*Result, error) {
+	s.ex = sk.ex
+	s.nodes = make([]*node, len(sk.nodes))
+	s.inReeval = make([]bool, len(sk.nodes))
+	for i, o := range sk.nodes {
+		goal, err := s.nodeGoal(o.st)
+		if err != nil {
+			return nil, err
+		}
+		n := &node{
+			id:       o.id,
+			st:       o.st,
+			zoneFed:  o.zoneFed,
+			goal:     goal,
+			succs:    o.succs,
+			preds:    o.preds,
+			win:      dbm.NewFederation(o.st.Zone.Dim()),
+			explored: true,
+		}
+		s.nodes[i] = n
+	}
+	s.stats.Nodes = len(s.nodes)
+	s.stats.Transitions = sk.transitions
+
+	if s.propWorkers > 1 {
+		seeds := make([]int, len(s.nodes))
+		for i := range s.nodes {
+			seeds[i] = i
+			s.inReeval[i] = true
+		}
+		if err := s.propagate(seeds, s.opts.EarlyTermination); err != nil {
+			return nil, err
+		}
+	} else {
+		for changed := true; changed; {
+			changed = false
+			if err := s.checkBudget(); err != nil {
+				return nil, err
+			}
+			for id := len(s.nodes) - 1; id >= 0; id-- {
+				grew, err := s.reeval(id)
+				if err != nil {
+					return nil, err
+				}
+				changed = changed || grew
+			}
+			if s.opts.EarlyTermination && s.initialDecided() {
+				break
+			}
+		}
+	}
+	return s.finishResult()
+}

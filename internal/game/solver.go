@@ -201,6 +201,25 @@ func Solve(sys *model.System, formula *tctl.Formula, opts Options) (*Result, err
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
+	s := newSolverShell(sys, formula, opts)
+
+	init, err := s.ex.Initial()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.addNode(init); err != nil {
+		return nil, err
+	}
+
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	return s.finishResult()
+}
+
+// newSolverShell builds a solver with its explorer and worker counts
+// resolved, but no nodes yet (shared by Solve and the batch engine).
+func newSolverShell(sys *model.System, formula *tctl.Formula, opts Options) *solver {
 	s := &solver{
 		sys:     sys,
 		formula: formula,
@@ -222,23 +241,16 @@ func Solve(sys *model.System, formula *tctl.Formula, opts Options) (*Result, err
 	if opts.DisableExtrapolation {
 		s.ex.Max = nil
 	}
+	return s
+}
 
-	init, err := s.ex.Initial()
-	if err != nil {
-		return nil, err
-	}
-	if _, err := s.addNode(init); err != nil {
-		return nil, err
-	}
-
-	if err := s.run(); err != nil {
-		return nil, err
-	}
-
+// finishResult stamps the final statistics and packages the Result
+// (winnability, winning sets, strategy).
+func (s *solver) finishResult() (*Result, error) {
 	s.stats.Duration = time.Since(s.t0)
 	s.sampleHeap()
 
-	res := &Result{Formula: formula, Stats: s.stats, Win: map[int]*dbm.Federation{}}
+	res := &Result{Formula: s.formula, Stats: s.stats, Win: map[int]*dbm.Federation{}}
 	for _, n := range s.nodes {
 		res.Win[n.id] = n.win
 	}

@@ -224,21 +224,31 @@ func (st *Strategy) MoveAt(id int, val []int64, scale int64, bound int) (Move, e
 		}
 	}
 
-	// Immediate action?
-	for i := range n.succs {
-		sc := &n.succs[i]
-		if !st.moveUsable(&sc.trans) {
-			continue
-		}
-		region := st.actionRegion(n, sc, bound)
-		if region.ContainsPoint(val, scale) {
-			if sc.trans.Kind == model.Controllable {
-				return Move{Kind: MoveAction, Trans: &sc.trans, Target: sc.target}, nil
+	// Immediate action? Controllable moves take precedence over
+	// cooperative hopes: an input the tester offers itself cannot be
+	// denied, while a hoped-for output may never come — preferring hopes
+	// can cycle through the winning region without ever progressing when
+	// the plant resolves its choices the other way.
+	for pass := 0; pass < 2; pass++ {
+		for i := range n.succs {
+			sc := &n.succs[i]
+			if !st.moveUsable(&sc.trans) {
+				continue
 			}
-			// Cooperative: hope the plant produces this output; wait for it
-			// until the end of its enabled window.
-			wait := maxUsefulWait(region, val, scale)
-			return Move{Kind: MoveWait, WaitTicks: wait, Hoped: &sc.trans}, nil
+			ctrl := sc.trans.Kind == model.Controllable
+			if (pass == 0) != ctrl {
+				continue
+			}
+			region := st.actionRegion(n, sc, bound)
+			if region.ContainsPoint(val, scale) {
+				if ctrl {
+					return Move{Kind: MoveAction, Trans: &sc.trans, Target: sc.target}, nil
+				}
+				// Cooperative: hope the plant produces this output; wait
+				// for it until the end of its enabled window.
+				wait := maxUsefulWait(region, val, scale)
+				return Move{Kind: MoveWait, WaitTicks: wait, Hoped: &sc.trans}, nil
+			}
 		}
 	}
 

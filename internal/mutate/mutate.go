@@ -233,7 +233,27 @@ func All(sys *model.System, procs []int, maxPerOp int) []*Mutant {
 	return out
 }
 
-// Random picks one random mutant.
+// Sample draws up to n distinct random mutants. All randomness comes from
+// the supplied rng — no global math/rand state is touched — so a campaign
+// under a fixed seed samples the same mutant set on every run. Mutants are
+// deduplicated by description; inapplicable operator draws are skipped,
+// and the attempt budget bounds the loop when the model admits fewer than
+// n distinct mutants.
+func Sample(sys *model.System, procs []int, n int, rng *rand.Rand) []*Mutant {
+	var out []*Mutant
+	seen := map[string]bool{}
+	for attempts := 0; len(out) < n && attempts < 30*n+100; attempts++ {
+		m, err := Random(sys, procs, rng)
+		if err != nil || seen[m.Description] {
+			continue
+		}
+		seen[m.Description] = true
+		out = append(out, m)
+	}
+	return out
+}
+
+// Random picks one random mutant using only the supplied rng.
 func Random(sys *model.System, procs []int, rng *rand.Rand) (*Mutant, error) {
 	switch rng.Intn(5) {
 	case 0:

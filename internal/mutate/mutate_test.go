@@ -2,6 +2,7 @@ package mutate
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 
 	"tigatest/internal/dbm"
@@ -190,5 +191,49 @@ func TestMutantsOnlyTouchGivenProcs(t *testing.T) {
 				t.Fatal("mutation leaked into the environment process")
 			}
 		}
+	}
+}
+
+// TestSampleSeededReproducible pins the satellite contract: mutant
+// sampling draws only from the supplied rng, so equal seeds give equal
+// samples, different seeds (almost surely) different ones, and the global
+// math/rand state is never involved.
+func TestSampleSeededReproducible(t *testing.T) {
+	sys := models.SmartLight()
+	plant := models.SmartLightPlant(sys)
+	descs := func(seed int64) []string {
+		var out []string
+		for _, m := range Sample(sys, plant, 6, rand.New(rand.NewSource(seed))) {
+			out = append(out, m.Operator+": "+m.Description)
+		}
+		return out
+	}
+	a, b := descs(42), descs(42)
+	if len(a) != 6 {
+		t.Fatalf("want 6 mutants, got %d", len(a))
+	}
+	if !slices.Equal(a, b) {
+		t.Fatalf("same seed must sample the same mutants:\n%v\n%v", a, b)
+	}
+	seen := map[string]bool{}
+	for _, d := range a {
+		if seen[d] {
+			t.Fatalf("duplicate mutant in sample: %s", d)
+		}
+		seen[d] = true
+	}
+	if c := descs(43); slices.Equal(a, c) {
+		t.Fatalf("different seeds should sample differently: %v", c)
+	}
+}
+
+// TestSampleBoundedWhenFewMutantsExist: the attempt budget terminates the
+// loop on models admitting fewer distinct mutants than requested.
+func TestSampleBoundedWhenFewMutantsExist(t *testing.T) {
+	sys := models.SmartLight()
+	plant := models.SmartLightPlant(sys)
+	muts := Sample(sys, plant, 10000, rand.New(rand.NewSource(1)))
+	if len(muts) == 0 || len(muts) > 1000 {
+		t.Fatalf("sample size %d outside plausible distinct-mutant range", len(muts))
 	}
 }

@@ -126,7 +126,12 @@ func Run(strat *game.Strategy, iut tiots.IUT, opts Options) Result {
 		if strat.InGoal(node, val, scale) {
 			return Result{Verdict: Pass, Reason: "test purpose satisfied", Trace: trace, Steps: steps}
 		}
-		if bound < 0 && !strat.Cooperative() {
+		if bound < 0 {
+			if strat.Cooperative() {
+				// A conformant plant chose a branch the cooperative
+				// strategy merely hoped to avoid: nobody is to blame.
+				return inconclusive("cooperative strategy: plant moved outside the hoped-for region", steps)
+			}
 			return inconclusive("play left the winning region (solver or adapter defect)", steps)
 		}
 		mv, err := strat.MoveAt(node, val, scale, bound)

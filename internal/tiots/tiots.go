@@ -330,6 +330,14 @@ type Output struct {
 	After int64 // ticks after the Advance call started
 }
 
+// Seeder is implemented by randomized IUTs that accept a per-run rng
+// seed (campaign repeats derive one per run; the adapter forwards it
+// over the wire). Deterministic implementations simply don't implement
+// it.
+type Seeder interface {
+	Seed(seed int64)
+}
+
 // DetIUT interprets a network as a deterministic implementation driven by
 // a DetPolicy. It satisfies IUT.
 type DetIUT struct {
