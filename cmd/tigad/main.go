@@ -1,0 +1,119 @@
+// Command tigad is the persistent test daemon: it loads models once,
+// serves the line-JSON control API (synthesize / run / campaign / stats)
+// and hosts many concurrent online test sessions. Strategy synthesis runs
+// behind a content-addressed singleflight cache, so N clients requesting
+// the same goal cost one game solve; the session semaphore answers
+// overload with an explicit busy event; SIGTERM/SIGINT drain gracefully
+// (in-flight requests finish, then every session closes) and the final
+// service stats are printed as JSON.
+//
+// Usage:
+//
+//	tigad                                   # smartlight + traingate on 127.0.0.1:7699
+//	tigad -listen 127.0.0.1:0               # ephemeral port (printed on stdout)
+//	tigad -models smartlight -lep-n 3       # add the LEP instance as model "lep"
+//	tigad -file extra.tga -max-sessions 256
+//
+// Talk to it with cmd/tigaload (load generation), or by hand:
+//
+//	printf '%s\n' '{"op":"synthesize","model":"smartlight","purpose":"control: A<> IUT.Bright"}' | nc 127.0.0.1 7699
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"tigatest/internal/dsl"
+	"tigatest/internal/game"
+	"tigatest/internal/models"
+	"tigatest/internal/service"
+)
+
+func main() {
+	var files multiFlag
+	var (
+		listen      = flag.String("listen", "127.0.0.1:7699", "control-API listen address")
+		modelList   = flag.String("models", "smartlight,traingate", "comma-separated built-in models to load (smartlight, traingate, lep — lep needs -lep-n)")
+		lepN        = flag.Int("lep-n", 0, "LEP instance size; > 0 also loads model \"lep\"")
+		maxSessions = flag.Int("max-sessions", 64, "concurrent session bound; extra connections get an explicit busy response")
+		solvWorkers = flag.Int("solver-workers", 0, "strategy-synthesis exploration workers (0 = all cores)")
+		propWorkers = flag.Int("prop-workers", 1, "propagation workers; > 1 trades byte-identical responses for solve speed")
+		quiet       = flag.Bool("quiet", false, "suppress operational logging")
+	)
+	flag.Var(&files, "file", "additional model file in the tigatest DSL (repeatable)")
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tigad: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	svc := service.New(service.Options{
+		MaxSessions: *maxSessions,
+		Solver:      game.Options{Workers: *solvWorkers, PropagationWorkers: *propWorkers},
+		Logf:        logf,
+	})
+
+	for _, name := range strings.Split(*modelList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		sys, env, plant, _, err := models.ByName(name, *lepN)
+		must(err)
+		must(svc.AddModel(sys, env, plant))
+	}
+	if *lepN > 0 && !strings.Contains(*modelList, "lep") {
+		sys, env, plant, _, err := models.ByName("lep", *lepN)
+		must(err)
+		must(svc.AddModel(sys, env, plant))
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		must(err)
+		f, err := dsl.Parse(string(data))
+		must(err)
+		must(svc.AddModel(f.Sys, f.ParseEnv(), nil))
+	}
+
+	must(svc.Listen(*listen))
+	// The chosen address goes to stdout so scripts using -listen :0 can
+	// pick it up.
+	fmt.Printf("tigad: listening on %s\n", svc.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	<-sig
+	fmt.Fprintln(os.Stderr, "tigad: draining")
+	svc.Drain()
+
+	out, err := json.MarshalIndent(svc.StatsSnapshot(), "", "  ")
+	must(err)
+	fmt.Println(string(out))
+}
+
+// multiFlag collects repeatable string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tigad:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,249 @@
+// Command tigaload is the load generator for the tigad service: it spawns
+// K concurrent sessions, each issuing run requests for the same goal (the
+// regime the strategy cache is built for — exactly one solve, K-1 hits),
+// hosting its own conformant implementation inline over the session
+// connection by default, and reports latency percentiles, throughput and
+// the daemon's cache/session counters as JSON for the bench trajectory.
+//
+// Exit status is non-zero when any session or request failed, or when the
+// daemon's cache-hit count ends below -min-cache-hits — which is what lets
+// CI enforce "zero failed sessions and a warm cache" on a smoke run.
+//
+// Usage:
+//
+//	tigaload -addr 127.0.0.1:7699 -sessions 8 -requests 4
+//	tigaload -addr 127.0.0.1:7699 -iut local -json BENCH_service.json -min-cache-hits 1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tigatest/internal/model"
+	"tigatest/internal/models"
+	"tigatest/internal/service"
+	"tigatest/internal/tiots"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7699", "tigad control-API address")
+		sessions = flag.Int("sessions", 8, "concurrent sessions (K)")
+		requests = flag.Int("requests", 4, "run requests per session")
+		modelN   = flag.String("model", "smartlight", "built-in model: smartlight, traingate or lep")
+		lepNodes = flag.Int("n", 2, "LEP instance size (with -model lep)")
+		purpose  = flag.String("purpose", "", "test purpose (default: the model's standard goal)")
+		mode     = flag.String("mode", "", "game mode: auto (default), strict or cooperative")
+		iutKind  = flag.String("iut", "inline", "implementation per run: inline (hosted on the session) or local (daemon-side)")
+		repeats  = flag.Int("repeats", 1, "repeats per run request")
+		seed     = flag.Int64("seed", 1, "base seed; session k uses seed+k")
+		jsonOut  = flag.String("json", "", "write the load report as JSON to this file")
+		minHits  = flag.Int64("min-cache-hits", 0, "fail unless the daemon reports at least this many cache hits")
+		wait     = flag.Duration("wait", 10*time.Second, "dial retry window (daemon may still be starting, or briefly busy)")
+	)
+	flag.Parse()
+
+	sys, _, plant, goal, err := models.ByName(*modelN, *lepNodes)
+	if err != nil {
+		fatal(err)
+	}
+	if *purpose == "" {
+		*purpose = goal
+	}
+	impl := model.ExtractPlant(sys, plant, "Stub")
+
+	lat := make([][]time.Duration, *sessions)
+	var failedSessions, failedRequests, pass, failV, incon, dialRetries atomic.Int64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for k := 0; k < *sessions; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			cli, err := dialRetry(*addr, *wait, &dialRetries)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tigaload: session %d: %v\n", k, err)
+				failedSessions.Add(1)
+				return
+			}
+			defer cli.Close()
+			var iut tiots.IUT
+			if *iutKind == "inline" {
+				iut = tiots.NewDetIUT(impl, tiots.Scale, nil)
+			}
+			ok := true
+			for r := 0; r < *requests; r++ {
+				start := time.Now()
+				run, err := cli.Run(service.Request{
+					Model:   sys.Name,
+					Purpose: *purpose,
+					Mode:    *mode,
+					Repeats: *repeats,
+					Seed:    *seed + int64(k),
+				}, iut)
+				lat[k] = append(lat[k], time.Since(start))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "tigaload: session %d request %d: %v\n", k, r, err)
+					failedRequests.Add(1)
+					ok = false
+					break // the session stream is unreliable after a failure
+				}
+				pass.Add(int64(run.Pass))
+				failV.Add(int64(run.Fail))
+				incon.Add(int64(run.Incon))
+			}
+			if !ok {
+				failedSessions.Add(1)
+			}
+		}(k)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	// Final stats over a fresh session (slots are free now).
+	var stats *service.Stats
+	if cli, err := dialRetry(*addr, *wait, &dialRetries); err == nil {
+		stats, err = cli.Stats()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tigaload: stats: %v\n", err)
+		}
+		cli.Close()
+	} else {
+		fmt.Fprintf(os.Stderr, "tigaload: stats session: %v\n", err)
+	}
+
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	rep := report{
+		Addr:               *addr,
+		Model:              sys.Name,
+		Purpose:            *purpose,
+		IUT:                *iutKind,
+		Sessions:           *sessions,
+		RequestsPerSession: *requests,
+		Repeats:            *repeats,
+		TotalRequests:      len(all),
+		FailedSessions:     failedSessions.Load(),
+		FailedRequests:     failedRequests.Load(),
+		DialRetries:        dialRetries.Load(),
+		Verdicts:           verdicts{Pass: pass.Load(), Fail: failV.Load(), Incon: incon.Load()},
+		WallMS:             wall.Milliseconds(),
+		Latency: latencies{
+			P50: percentile(all, 50), P90: percentile(all, 90),
+			P99: percentile(all, 99), Max: percentile(all, 100),
+		},
+		Stats: stats,
+	}
+	if wall > 0 {
+		rep.ThroughputRPS = float64(len(all)) / wall.Seconds()
+	}
+
+	fmt.Printf("tigaload: %d sessions x %d requests against %s (%s): %d failed sessions, %d failed requests\n",
+		rep.Sessions, rep.RequestsPerSession, rep.Addr, rep.Model, rep.FailedSessions, rep.FailedRequests)
+	fmt.Printf("  latency ms: p50=%.1f p90=%.1f p99=%.1f max=%.1f; throughput %.1f req/s\n",
+		rep.Latency.P50, rep.Latency.P90, rep.Latency.P99, rep.Latency.Max, rep.ThroughputRPS)
+	if stats != nil {
+		fmt.Printf("  cache: %d hits, %d misses (%d joined in flight); solver: %d solves, %d skeleton hits\n",
+			stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Joined, stats.Solver.Solves, stats.Solver.SkeletonHits)
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *jsonOut)
+	}
+
+	switch {
+	case rep.FailedSessions > 0 || rep.FailedRequests > 0:
+		fatal(fmt.Errorf("%d sessions / %d requests failed", rep.FailedSessions, rep.FailedRequests))
+	case stats == nil:
+		fatal(fmt.Errorf("could not fetch service stats"))
+	case stats.Cache.Hits < *minHits:
+		fatal(fmt.Errorf("cache hits %d below the -min-cache-hits floor %d", stats.Cache.Hits, *minHits))
+	}
+}
+
+type verdicts struct {
+	Pass  int64 `json:"pass"`
+	Fail  int64 `json:"fail"`
+	Incon int64 `json:"incon"`
+}
+
+type latencies struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+type report struct {
+	Addr               string         `json:"addr"`
+	Model              string         `json:"model"`
+	Purpose            string         `json:"purpose"`
+	IUT                string         `json:"iut"`
+	Sessions           int            `json:"sessions"`
+	RequestsPerSession int            `json:"requests_per_session"`
+	Repeats            int            `json:"repeats"`
+	TotalRequests      int            `json:"total_requests"`
+	FailedSessions     int64          `json:"failed_sessions"`
+	FailedRequests     int64          `json:"failed_requests"`
+	DialRetries        int64          `json:"dial_retries"`
+	Verdicts           verdicts       `json:"verdicts"`
+	Latency            latencies      `json:"latency_ms"`
+	ThroughputRPS      float64        `json:"throughput_rps"`
+	WallMS             int64          `json:"wall_ms"`
+	Stats              *service.Stats `json:"service_stats,omitempty"`
+}
+
+// percentile returns the q-th percentile of the sorted slice in
+// milliseconds (nearest-rank).
+func percentile(sorted []time.Duration, q int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (q*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return float64(sorted[idx-1].Microseconds()) / 1000
+}
+
+// dialRetry dials until the window closes, retrying connection refusals
+// (daemon starting) and busy rejections (backpressure) alike.
+func dialRetry(addr string, window time.Duration, retries *atomic.Int64) (*service.Client, error) {
+	deadline := time.Now().Add(window)
+	for {
+		cli, err := service.Dial(addr)
+		if err == nil {
+			return cli, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		retries.Add(1)
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tigaload:", err)
+	os.Exit(1)
+}

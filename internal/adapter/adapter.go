@@ -5,25 +5,73 @@
 // newline-delimited JSON under virtual time, so test runs are exactly
 // reproducible — the adapter transports the paper's Fig. 1/Fig. 4 arrows
 // "input", "output" and time.
+//
+// The protocol is transport-agnostic: Message, Apply, ServeConn and
+// ClientOn expose it for other carriers, e.g. the service layer hosting
+// online test sessions on a control connection (the daemon drives the
+// protocol through ClientOn, the remote implementation answers through
+// Apply).
 package adapter
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
 	"tigatest/internal/tiots"
 )
 
-// message is one protocol frame.
-type message struct {
+// Message is one protocol frame.
+type Message struct {
 	Type  string `json:"type"`            // "reset", "seed", "offer", "advance", "ok", "output", "quiet", "error"
 	Chan  int    `json:"chan,omitempty"`  // channel index for offer/output
 	Ticks int64  `json:"ticks,omitempty"` // advance budget / output offset
 	Seed  int64  `json:"seed,omitempty"`  // rng seed for randomized IUTs
 	Err   string `json:"err,omitempty"`
+}
+
+// IsRequest reports whether the frame is a driver-side request (as opposed
+// to an implementation-side reply or a foreign frame on a shared stream).
+func (m Message) IsRequest() bool {
+	switch m.Type {
+	case "reset", "seed", "offer", "advance":
+		return true
+	}
+	return false
+}
+
+// Apply executes one protocol request against the implementation and
+// returns the reply frame. It is the server side of the protocol, factored
+// out so any transport can host a session.
+func Apply(iut tiots.IUT, m Message) Message {
+	switch m.Type {
+	case "reset":
+		iut.Reset()
+		return Message{Type: "ok"}
+	case "seed":
+		// Randomized implementations accept a per-run seed; deterministic
+		// ones simply have nothing to reseed.
+		if s, ok := iut.(tiots.Seeder); ok {
+			s.Seed(m.Seed)
+		}
+		return Message{Type: "ok"}
+	case "offer":
+		if err := iut.Offer(m.Chan); err != nil {
+			return Message{Type: "error", Err: err.Error()}
+		}
+		return Message{Type: "ok"}
+	case "advance":
+		out := iut.Advance(m.Ticks)
+		if out == nil {
+			return Message{Type: "quiet"}
+		}
+		return Message{Type: "output", Chan: out.Chan, Ticks: out.After}
+	default:
+		return Message{Type: "error", Err: "unknown message " + m.Type}
+	}
 }
 
 // Server hosts implementations on a listener. In factory mode
@@ -101,46 +149,30 @@ func (s *Server) loop() {
 
 func (s *Server) handle(conn net.Conn, iut tiots.IUT) {
 	defer conn.Close()
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
+	ServeConn(conn, iut)
+}
+
+// ServeConn serves one session of the wire protocol on an arbitrary stream
+// until it fails to decode (connection closed or foreign bytes). It does
+// not close the stream.
+func ServeConn(rw io.ReadWriter, iut tiots.IUT) {
+	dec := json.NewDecoder(bufio.NewReader(rw))
+	enc := json.NewEncoder(rw)
 	for {
-		var m message
+		var m Message
 		if err := dec.Decode(&m); err != nil {
 			return
 		}
-		switch m.Type {
-		case "reset":
-			iut.Reset()
-			_ = enc.Encode(message{Type: "ok"})
-		case "seed":
-			// Randomized implementations accept a per-run seed;
-			// deterministic ones simply have nothing to reseed.
-			if s, ok := iut.(tiots.Seeder); ok {
-				s.Seed(m.Seed)
-			}
-			_ = enc.Encode(message{Type: "ok"})
-		case "offer":
-			if err := iut.Offer(m.Chan); err != nil {
-				_ = enc.Encode(message{Type: "error", Err: err.Error()})
-				continue
-			}
-			_ = enc.Encode(message{Type: "ok"})
-		case "advance":
-			out := iut.Advance(m.Ticks)
-			if out == nil {
-				_ = enc.Encode(message{Type: "quiet"})
-			} else {
-				_ = enc.Encode(message{Type: "output", Chan: out.Chan, Ticks: out.After})
-			}
-		default:
-			_ = enc.Encode(message{Type: "error", Err: "unknown message " + m.Type})
+		if err := enc.Encode(Apply(iut, m)); err != nil {
+			return
 		}
 	}
 }
 
-// Client is a tiots.IUT speaking the adapter protocol over TCP.
+// Client is a tiots.IUT speaking the adapter protocol over TCP (Dial) or
+// over any existing encoder/decoder pair (ClientOn).
 type Client struct {
-	conn net.Conn
+	conn net.Conn // nil for ClientOn clients; their stream has its own owner
 	dec  *json.Decoder
 	enc  *json.Encoder
 	err  error
@@ -159,26 +191,39 @@ func Dial(addr string) (*Client, error) {
 	}, nil
 }
 
-// Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// ClientOn builds a driver-side client speaking the protocol over an
+// existing decoder/encoder pair — e.g. a service session multiplexing test
+// traffic onto its control connection. Close is a no-op; the stream's
+// owner closes it.
+func ClientOn(dec *json.Decoder, enc *json.Encoder) *Client {
+	return &Client{dec: dec, enc: enc}
+}
+
+// Close releases the connection (no-op for ClientOn clients).
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}
 
 // Err returns the first transport error encountered (the IUT interface has
 // no error returns on Advance; a broken transport reads as quiescence, and
 // the driver should check Err after a suspicious run).
 func (c *Client) Err() error { return c.err }
 
-func (c *Client) roundTrip(m message) (message, error) {
+func (c *Client) roundTrip(m Message) (Message, error) {
 	if c.err != nil {
-		return message{}, c.err
+		return Message{}, c.err
 	}
 	if err := c.enc.Encode(m); err != nil {
 		c.err = err
-		return message{}, err
+		return Message{}, err
 	}
-	var r message
+	var r Message
 	if err := c.dec.Decode(&r); err != nil {
 		c.err = err
-		return message{}, err
+		return Message{}, err
 	}
 	if r.Type == "error" {
 		return r, fmt.Errorf("adapter: remote: %s", r.Err)
@@ -188,26 +233,26 @@ func (c *Client) roundTrip(m message) (message, error) {
 
 // Reset implements tiots.IUT.
 func (c *Client) Reset() {
-	_, _ = c.roundTrip(message{Type: "reset"})
+	_, _ = c.roundTrip(Message{Type: "reset"})
 }
 
 // Seed forwards a per-run rng seed to the remote implementation
 // (tiots.Seeder over the wire). Deterministic hosts acknowledge and
 // ignore it.
 func (c *Client) Seed(seed int64) error {
-	_, err := c.roundTrip(message{Type: "seed", Seed: seed})
+	_, err := c.roundTrip(Message{Type: "seed", Seed: seed})
 	return err
 }
 
 // Offer implements tiots.IUT.
 func (c *Client) Offer(chanIdx int) error {
-	_, err := c.roundTrip(message{Type: "offer", Chan: chanIdx})
+	_, err := c.roundTrip(Message{Type: "offer", Chan: chanIdx})
 	return err
 }
 
 // Advance implements tiots.IUT.
 func (c *Client) Advance(d int64) *tiots.Output {
-	r, err := c.roundTrip(message{Type: "advance", Ticks: d})
+	r, err := c.roundTrip(Message{Type: "advance", Ticks: d})
 	if err != nil {
 		return nil
 	}

@@ -109,7 +109,7 @@ func TestServerRejectsUnknownMessage(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cli.Close()
-	if _, err := cli.roundTrip(message{Type: "bogus"}); err == nil {
+	if _, err := cli.roundTrip(Message{Type: "bogus"}); err == nil {
 		t.Fatal("unknown message must be rejected")
 	}
 }

@@ -61,6 +61,11 @@ type Options struct {
 	// every run dials its own connection, so the server must accept
 	// concurrent sessions (adapter.ServeFactory).
 	RemoteAddr string
+	// DisableLazyRetry skips the lazy-determinization retry of ungranted
+	// goals (outputs at window close; see StatusRecovered). Off by default:
+	// the retry only ever recovers coverage the eager conformant
+	// implementation raced past.
+	DisableLazyRetry bool
 }
 
 func (o *Options) withDefaults(sys *model.System) Options {
@@ -107,7 +112,7 @@ func Run(sys *model.System, env *tctl.ParseEnv, o Options) (*Report, error) {
 	planMS := time.Since(t0).Milliseconds()
 
 	t1 := time.Now()
-	rows, err := BuildIUTs(sys, &opts)
+	rows, err := BuildIUTs(sys, &opts, suite.HasLazy())
 	if err != nil {
 		return nil, err
 	}

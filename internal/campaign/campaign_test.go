@@ -120,6 +120,75 @@ func TestCampaignReportReproducible(t *testing.T) {
 	}
 }
 
+// TestCampaignLazyRecoversL5Touch is the regression test for the ROADMAP
+// item: the eager conformant determinization fires bright!/dim! the moment
+// L5 is entered, so the L5--touch?->L2 edge (which needs the light to
+// out-wait the user's 1-unit reaction time inside the Tp<=2 window) is
+// unreachable eagerly. The lazy retry — outputs at window close — must
+// recover it: status recovered, covering entry flagged lazy, and the goal
+// attained in the conformant-lazy matrix row.
+func TestCampaignLazyRecoversL5Touch(t *testing.T) {
+	sys := models.SmartLight()
+	rep, err := Run(sys, models.SmartLightEnv(sys), smartLightOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goal = "edge:IUT.L5--touch?->L2"
+	var gr *GoalReport
+	for i := range rep.Goals {
+		if rep.Goals[i].Name == goal {
+			gr = &rep.Goals[i]
+		}
+	}
+	if gr == nil {
+		t.Fatalf("goal %s not enumerated", goal)
+	}
+	if gr.Status != StatusRecovered {
+		t.Fatalf("goal %s must be recovered by the lazy retry, got %s (%s)", goal, gr.Status, gr.Reason)
+	}
+	if gr.By < 0 || !rep.Suite[gr.By].Lazy {
+		t.Fatalf("covering entry must be flagged lazy: %+v", gr)
+	}
+	if !gr.Attained {
+		t.Fatalf("recovered goal must be attained in the conformant-lazy row: %+v", gr)
+	}
+	if rep.Summary.Recovered == 0 {
+		t.Fatalf("summary must count recovered goals: %+v", rep.Summary)
+	}
+	lazyRow := false
+	for _, row := range rep.Matrix {
+		if row.IUT == LazyRowName {
+			lazyRow = true
+			for _, c := range row.Cells {
+				if c.Fail > 0 {
+					t.Errorf("lazy determinization is conformant; it must never fail a sound strategy: entry %d %+v", c.Entry, c.Reasons)
+				}
+			}
+		}
+	}
+	if !lazyRow {
+		t.Fatal("matrix must include the conformant-lazy row when the suite has lazy entries")
+	}
+
+	// Opting out restores the eager-only plan: the goal stays ungranted.
+	opts := smartLightOptions()
+	opts.DisableLazyRetry = true
+	rep2, err := Run(sys, models.SmartLightEnv(sys), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range rep2.Goals {
+		if g.Name == goal && g.Status != StatusUngranted {
+			t.Fatalf("with the retry disabled %s must stay ungranted, got %s", goal, g.Status)
+		}
+	}
+	for _, row := range rep2.Matrix {
+		if row.IUT == LazyRowName {
+			t.Fatal("no lazy entries => no conformant-lazy row")
+		}
+	}
+}
+
 // choiceModel builds a minimal plant with a genuine output choice and a
 // forced branch: after go? the plant must (invariant x<=2) answer a! or
 // b!, and the tester cannot force which — locations A and B are reachable
@@ -347,13 +416,19 @@ func TestCampaignRemoteRow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Matrix) != 2 {
-		t.Fatalf("want conformant + remote rows, got %d", len(rep.Matrix))
+	// Rows: conformant, conformant-lazy (smartlight recovers L5--touch?->L2
+	// lazily), remote. Locate by name; the remote row must mirror the
+	// eager conformant one (the remote host runs the eager determinization).
+	rowByName := func(name string) *RowReport {
+		for i := range rep.Matrix {
+			if rep.Matrix[i].IUT == name {
+				return &rep.Matrix[i]
+			}
+		}
+		t.Fatalf("no matrix row %q", name)
+		return nil
 	}
-	local, remote := rep.Matrix[0], rep.Matrix[1]
-	if remote.IUT != "remote:"+srv.Addr() {
-		t.Fatalf("unexpected remote row name %s", remote.IUT)
-	}
+	local, remote := rowByName("conformant"), rowByName("remote:"+srv.Addr())
 	for i := range local.Cells {
 		l, r := local.Cells[i], remote.Cells[i]
 		if l.Pass != r.Pass || l.Fail != r.Fail || l.Incon != r.Incon {

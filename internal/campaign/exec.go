@@ -7,6 +7,7 @@ import (
 
 	"tigatest/internal/model"
 	"tigatest/internal/mutate"
+	"tigatest/internal/tiots"
 )
 
 // IUTRow is one implementation row of the verdict matrix.
@@ -20,13 +21,22 @@ type IUTRow struct {
 	Factory IUTFactory
 }
 
+// LazyRowName is the matrix row of the lazy-but-conformant determinization
+// (outputs fire at window close), present when the planned suite contains
+// lazy-recovered entries.
+const LazyRowName = "conformant-lazy"
+
 // BuildIUTs assembles the implementation rows of the campaign: the
-// conformant extraction of the specification first, then the mutants
-// (exhaustive per (operator, site), or Mutants > 0 random ones sampled
-// with the campaign seed), then the optional remote row.
-func BuildIUTs(sys *model.System, opts *Options) ([]*IUTRow, error) {
+// conformant extraction of the specification first — plus its lazy
+// determinization when the suite has lazy-recovered entries (lazyRow) —
+// then the mutants (exhaustive per (operator, site), or Mutants > 0 random
+// ones sampled with the campaign seed), then the optional remote row.
+func BuildIUTs(sys *model.System, opts *Options, lazyRow bool) ([]*IUTRow, error) {
 	impl := model.ExtractPlant(sys, opts.Plant, "Stub")
 	rows := []*IUTRow{{Name: "conformant", Factory: LocalIUT(impl, opts.Exec.Scale, nil)}}
+	if lazyRow {
+		rows = append(rows, &IUTRow{Name: LazyRowName, Factory: LocalIUT(impl, opts.Exec.Scale, tiots.LazyPolicy())})
+	}
 
 	var muts []*mutate.Mutant
 	switch {

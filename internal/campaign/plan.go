@@ -20,11 +20,18 @@ const (
 	// Excluded from the coverable set: no test suite could cover it.
 	StatusUnwinnable = "unwinnable"
 	// StatusUngranted: a cooperative strategy covers the goal in the
-	// game, but the conformant implementation's determinization never
-	// grants the hoped-for outputs (its run ended inconclusive). Excluded
-	// from the coverable set: the implementation, not the suite, is the
-	// limiter.
+	// game, but no conformant determinization the planner tried (eager,
+	// then the lazy window-close retry) ever grants the hoped-for outputs
+	// (the runs ended inconclusive). Excluded from the coverable set: the
+	// implementation, not the suite, is the limiter.
 	StatusUngranted = "ungranted"
+	// StatusRecovered: the eager conformant determinization raced past the
+	// goal (it would have been ungranted), but the lazy-but-conformant
+	// retry — outputs fire at window close — granted it. The covering
+	// entry is flagged Lazy and executes against the conformant-lazy
+	// matrix row. Counted coverable and covered: a conformant
+	// implementation attained the goal.
+	StatusRecovered = "recovered"
 	// StatusMissed: a winnable strategy should have attained the goal
 	// but its conformant run did not pass — a campaign or solver defect.
 	// Counted coverable, so it drags attained coverage below 100%.
@@ -56,6 +63,10 @@ type SuiteEntry struct {
 	// Cooperative marks fallback strategies that rely on helpful plant
 	// outputs (their misses are inconclusive, never failures).
 	Cooperative bool
+	// Lazy marks entries admitted by the lazy-determinization retry: their
+	// conformant evidence comes from the window-close implementation, so
+	// execution-level confirmation reads the conformant-lazy matrix row.
+	Lazy bool
 	// Strategy drives test execution.
 	Strategy *game.Strategy
 	// ConformantTrace is the observable trace of the planning run against
@@ -74,24 +85,47 @@ type Suite struct {
 	Goals   []*PlannedGoal
 }
 
-// Covered counts goals with StatusCovered.
+// Covered counts goals with StatusCovered or StatusRecovered (a conformant
+// implementation attained both kinds).
 func (s *Suite) Covered() int {
 	n := 0
 	for _, g := range s.Goals {
-		if g.Status == StatusCovered {
+		if g.Status == StatusCovered || g.Status == StatusRecovered {
 			n++
 		}
 	}
 	return n
 }
 
-// Coverable counts goals some test suite could cover against the
-// conformant implementation: covered ones plus misses (which indicate a
+// Recovered counts goals the lazy-determinization retry rescued.
+func (s *Suite) Recovered() int {
+	n := 0
+	for _, g := range s.Goals {
+		if g.Status == StatusRecovered {
+			n++
+		}
+	}
+	return n
+}
+
+// HasLazy reports whether any suite entry rode the lazy determinization
+// (the matrix then needs the conformant-lazy row).
+func (s *Suite) HasLazy() bool {
+	for _, e := range s.Entries {
+		if e.Lazy {
+			return true
+		}
+	}
+	return false
+}
+
+// Coverable counts goals some test suite could cover against a conformant
+// implementation: covered and recovered ones plus misses (which indicate a
 // defect), excluding unwinnable and ungranted goals.
 func (s *Suite) Coverable() int {
 	n := 0
 	for _, g := range s.Goals {
-		if g.Status == StatusCovered || g.Status == StatusMissed {
+		if g.Status == StatusCovered || g.Status == StatusRecovered || g.Status == StatusMissed {
 			n++
 		}
 	}
@@ -185,8 +219,12 @@ func Plan(sys *model.System, env *tctl.ParseEnv, opts *Options) (*Suite, error) 
 		return -1
 	}
 	// Deferred (not-yet-covered) goal verdicts, by goal name; a later
-	// entry's trace may still override them with covered.
-	type miss struct{ status, reason string }
+	// entry's trace may still override them with covered. Ungranted misses
+	// keep their candidate strategy for the lazy-determinization retry.
+	type miss struct {
+		status, reason string
+		candidate      *game.Result
+	}
 	misses := map[string]miss{}
 
 	for _, pg := range suite.Goals {
@@ -202,7 +240,7 @@ func Plan(sys *model.System, env *tctl.ParseEnv, opts *Options) (*Suite, error) 
 			// model gets its own two-solve (strict, cooperative) batch.
 			isys, f, ierr := instrumentEdge(sys, pg.EdgeID, pg.Purpose)
 			if ierr != nil {
-				misses[pg.Name] = miss{StatusMissed, "instrumentation: " + ierr.Error()}
+				misses[pg.Name] = miss{status: StatusMissed, reason: "instrumentation: " + ierr.Error()}
 				continue
 			}
 			ib, berr := game.NewBatch(isys, opts.Solver)
@@ -213,7 +251,7 @@ func Plan(sys *model.System, env *tctl.ParseEnv, opts *Options) (*Suite, error) 
 		} else {
 			f, perr := tctl.Parse(env, pg.Purpose)
 			if perr != nil {
-				misses[pg.Name] = miss{StatusMissed, "purpose parse error: " + perr.Error()}
+				misses[pg.Name] = miss{status: StatusMissed, reason: "purpose parse error: " + perr.Error()}
 				continue
 			}
 			res, cov, err = synthesizeForGoal(batch, f, pg.Goal)
@@ -222,11 +260,11 @@ func Plan(sys *model.System, env *tctl.ParseEnv, opts *Options) (*Suite, error) 
 			return nil, fmt.Errorf("campaign: solving %s for %s: %w", pg.Purpose, pg.Name, err)
 		}
 		if res == nil {
-			misses[pg.Name] = miss{StatusUnwinnable, "purpose not winnable, even cooperatively"}
+			misses[pg.Name] = miss{status: StatusUnwinnable, reason: "purpose not winnable, even cooperatively"}
 			continue
 		}
 		if !pg.InCover(cov) {
-			misses[pg.Name] = miss{StatusUnwinnable, "every winnable strategy reaches its purpose without traversing the goal"}
+			misses[pg.Name] = miss{status: StatusUnwinnable, reason: "every winnable strategy reaches its purpose without traversing the goal"}
 			continue
 		}
 
@@ -240,9 +278,9 @@ func Plan(sys *model.System, env *tctl.ParseEnv, opts *Options) (*Suite, error) 
 		if r.Verdict != texec.Pass {
 			reason := "conformant run: " + r.Verdict.String() + " (" + r.Reason + ")"
 			if res.Strategy.Cooperative() && r.Verdict == texec.Inconclusive {
-				misses[pg.Name] = miss{StatusUngranted, reason}
+				misses[pg.Name] = miss{status: StatusUngranted, reason: reason, candidate: res}
 			} else {
-				misses[pg.Name] = miss{StatusMissed, reason}
+				misses[pg.Name] = miss{status: StatusMissed, reason: reason}
 			}
 			continue
 		}
@@ -266,11 +304,29 @@ func Plan(sys *model.System, env *tctl.ParseEnv, opts *Options) (*Suite, error) 
 		if ec.has(pg.Goal) {
 			pg.Status, pg.By = StatusCovered, entry.Index
 		} else {
-			misses[pg.Name] = miss{StatusMissed, "conformant run passed but its replayed trace does not traverse the goal"}
+			misses[pg.Name] = miss{status: StatusMissed, reason: "conformant run passed but its replayed trace does not traverse the goal"}
 		}
 	}
 
-	// Sweep: deferred goals may have been traversed by a later entry.
+	// Sweep: deferred goals may have been traversed by a later entry; the
+	// still-ungranted ones get one retry against the lazy-but-conformant
+	// determinization (outputs fire at window close) — an eager plant races
+	// past windows the tester needs open, a maximally patient one keeps
+	// them open as long as the specification allows. Recovered goals admit
+	// their candidate as a Lazy suite entry.
+	type lazyCover struct {
+		ec    *execCover
+		entry int
+	}
+	var lazies []lazyCover
+	lazyCoveredBy := func(g *Goal) int {
+		for _, lc := range lazies {
+			if lc.ec.has(g) {
+				return lc.entry
+			}
+		}
+		return -1
+	}
 	for _, pg := range suite.Goals {
 		if pg.Status != "" {
 			continue
@@ -279,7 +335,40 @@ func Plan(sys *model.System, env *tctl.ParseEnv, opts *Options) (*Suite, error) 
 			pg.Status, pg.By = StatusCovered, by
 			continue
 		}
-		if m, ok := misses[pg.Name]; ok {
+		m, ok := misses[pg.Name]
+		if ok && m.status == StatusUngranted && !opts.DisableLazyRetry {
+			if by := lazyCoveredBy(pg.Goal); by >= 0 {
+				pg.Status, pg.By = StatusRecovered, by
+				pg.Reason = "recovered by the lazy determinization (outputs at window close)"
+				continue
+			}
+			if m.candidate != nil {
+				runner := &Runner{Strategy: m.candidate.Strategy, Exec: opts.Exec}
+				r := runner.RunOnce(tiots.NewDetIUT(impl, scale, tiots.LazyPolicy()))
+				if r.Verdict == texec.Pass {
+					if ec := replayCover(impl, opts.Plant, r.Trace, scale); ec.has(pg.Goal) {
+						entry := &SuiteEntry{
+							Index:           len(suite.Entries),
+							Purpose:         pg.Purpose,
+							SourceGoal:      pg.Name,
+							Cooperative:     m.candidate.Strategy.Cooperative(),
+							Lazy:            true,
+							Strategy:        m.candidate.Strategy,
+							ConformantTrace: r.Trace.Format(m.candidate.Strategy.System(), scale),
+							Nodes:           m.candidate.Stats.Nodes,
+							Transitions:     m.candidate.Stats.Transitions,
+						}
+						suite.Entries = append(suite.Entries, entry)
+						lazies = append(lazies, lazyCover{ec: ec, entry: entry.Index})
+						pg.Status, pg.By = StatusRecovered, entry.Index
+						pg.Reason = "recovered by the lazy determinization (outputs at window close)"
+						continue
+					}
+				}
+				m.reason += "; lazy retry: " + r.Verdict.String() + " (" + r.Reason + ")"
+			}
+		}
+		if ok {
 			pg.Status, pg.Reason = m.status, m.reason
 		} else {
 			pg.Status = StatusUnwinnable

@@ -49,19 +49,24 @@ type EntryReport struct {
 	Purpose     string `json:"purpose"`
 	SourceGoal  string `json:"source_goal"`
 	Cooperative bool   `json:"cooperative"`
-	Nodes       int    `json:"nodes"`
-	Transitions int    `json:"transitions"`
+	// Lazy marks entries admitted by the lazy-determinization retry; their
+	// conformant evidence lives in the conformant-lazy matrix row.
+	Lazy        bool `json:"lazy,omitempty"`
+	Nodes       int  `json:"nodes"`
+	Transitions int  `json:"transitions"`
 	// ConformantTrace is the (deterministic) observable trace of the
 	// planning run against the conformant implementation.
 	ConformantTrace string   `json:"conformant_trace"`
 	Goals           []string `json:"goals"`
 }
 
-// Summary is the headline coverage arithmetic.
+// Summary is the headline coverage arithmetic. Recovered counts the subset
+// of covered goals only the lazy-determinization retry granted.
 type Summary struct {
 	Goals       int     `json:"goals"`
 	Coverable   int     `json:"coverable"`
 	Covered     int     `json:"covered"`
+	Recovered   int     `json:"recovered"`
 	CoveragePct float64 `json:"coverage_pct"`
 	Attained    int     `json:"attained"`
 	AttainedPct float64 `json:"attained_pct"`
@@ -128,13 +133,29 @@ func assembleReport(sys *model.System, suite *Suite, rows []*IUTRow, matrix [][]
 		rep.Plant = append(rep.Plant, sys.Procs[pi].Name)
 	}
 
+	// Execution-level confirmation of a goal reads the conformant row its
+	// covering entry planned against: eager entries row 0, lazy entries the
+	// conformant-lazy row.
+	lazyRowIdx := -1
+	for ri, row := range rows {
+		if row.Name == LazyRowName {
+			lazyRowIdx = ri
+		}
+	}
+	confRow := func(e *SuiteEntry) int {
+		if e.Lazy {
+			return lazyRowIdx
+		}
+		return 0
+	}
+
 	entryGoals := make([][]string, len(suite.Entries))
 	attained := 0
 	for _, pg := range suite.Goals {
 		gr := GoalReport{Name: pg.Name, Kind: pg.Kind, Status: pg.Status, By: pg.By, Reason: pg.Reason}
 		if pg.By >= 0 {
 			entryGoals[pg.By] = append(entryGoals[pg.By], pg.Name)
-			if len(matrix) > 0 && matrix[0][pg.By].Pass > 0 {
+			if ri := confRow(suite.Entries[pg.By]); ri >= 0 && len(matrix) > ri && matrix[ri][pg.By].Pass > 0 {
 				gr.Attained = true
 				attained++
 			}
@@ -147,6 +168,7 @@ func assembleReport(sys *model.System, suite *Suite, rows []*IUTRow, matrix [][]
 			Purpose:         e.Purpose,
 			SourceGoal:      e.SourceGoal,
 			Cooperative:     e.Cooperative,
+			Lazy:            e.Lazy,
 			Nodes:           e.Nodes,
 			Transitions:     e.Transitions,
 			ConformantTrace: e.ConformantTrace,
@@ -158,6 +180,7 @@ func assembleReport(sys *model.System, suite *Suite, rows []*IUTRow, matrix [][]
 		Goals:       len(suite.Goals),
 		Coverable:   coverable,
 		Covered:     covered,
+		Recovered:   suite.Recovered(),
 		CoveragePct: pct(covered, coverable),
 		Attained:    attained,
 		AttainedPct: pct(attained, coverable),
@@ -230,16 +253,19 @@ func (r *Report) WriteJSON(w io.Writer, includeVolatile bool) error {
 // Render prints a human summary of the report.
 func (r *Report) Render(w io.Writer) {
 	fmt.Fprintf(w, "campaign %s: coverage=%s seed=%d repeats=%d\n", r.Model, r.Coverage, r.Seed, r.Repeats)
-	fmt.Fprintf(w, "  goals: %d (%d coverable), covered %d (%.0f%%), attained %d (%.0f%%)\n",
+	fmt.Fprintf(w, "  goals: %d (%d coverable), covered %d (%.0f%%, %d lazily recovered), attained %d (%.0f%%)\n",
 		r.Summary.Goals, r.Summary.Coverable, r.Summary.Covered, r.Summary.CoveragePct,
-		r.Summary.Attained, r.Summary.AttainedPct)
+		r.Summary.Recovered, r.Summary.Attained, r.Summary.AttainedPct)
 	fmt.Fprintf(w, "  suite: %d strategies\n", r.Summary.SuiteSize)
 	for _, e := range r.Suite {
 		mode := "strict"
 		if e.Cooperative {
 			mode = "cooperative"
 		}
-		fmt.Fprintf(w, "    [%d] %-44s %-11s %3d states  covers %d goals\n",
+		if e.Lazy {
+			mode += "+lazy"
+		}
+		fmt.Fprintf(w, "    [%d] %-44s %-16s %3d states  covers %d goals\n",
 			e.Index, e.Purpose, mode, e.Nodes, len(e.Goals))
 	}
 	for _, g := range r.Goals {

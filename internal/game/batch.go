@@ -24,11 +24,16 @@ import (
 )
 
 // skeleton is one fully explored zone graph, reusable across purposes that
-// share its extrapolation constants. All fields are immutable after build.
+// share its extrapolation constants. All fields except cond are immutable
+// after build; cond is filled by the first per-purpose fixpoint that
+// condenses the graph and reused by every later one (the graph shape is
+// frozen, so the condensation is too). A Batch is not safe for concurrent
+// use, so the late write needs no lock.
 type skeleton struct {
 	ex          *symbolic.Explorer
 	nodes       []*node // win/goal/deltas of these nodes are never read again
 	transitions int
+	cond        *condensation
 }
 
 // Batch solves a sequence of reachability purposes against one system,
@@ -61,6 +66,15 @@ func maxSignature(max []int) string {
 	return string(sig)
 }
 
+// ExtrapolationSignature returns a printable key identifying the explored
+// zone graph a purpose solves on: forward exploration depends on the
+// formula only through the per-clock extrapolation maxima, so purposes with
+// equal signatures share a skeleton in a Batch. Strategy caches (the
+// service layer) fold it into their content-addressed keys.
+func ExtrapolationSignature(sys *model.System, formula *tctl.Formula) string {
+	return fmt.Sprintf("%x", maxSignature(sys.MaxConstants(formula.ClockConstraints())))
+}
+
 // newSolver builds a solver shell for one purpose against the batch system.
 func (b *Batch) newSolver(formula *tctl.Formula, coop bool) *solver {
 	opts := b.opts
@@ -82,11 +96,14 @@ func (b *Batch) Solve(formula *tctl.Formula, coop bool) (*Result, error) {
 	sig := maxSignature(s.sys.MaxConstants(formula.ClockConstraints()))
 	sk, ok := b.graphs[sig]
 	if !ok {
+		s.stats.SkeletonMisses++
 		var err error
 		if sk, err = b.explore(s); err != nil {
 			return nil, err
 		}
 		b.graphs[sig] = sk
+	} else {
+		s.stats.SkeletonHits++
 	}
 	return s.solveOnSkeleton(sk)
 }
@@ -155,6 +172,11 @@ func (s *solver) solveOnSkeleton(sk *skeleton) (*Result, error) {
 	}
 	s.stats.Nodes = len(s.nodes)
 	s.stats.Transitions = sk.transitions
+	if sk.cond != nil {
+		// The graph shape is frozen with the skeleton: hand the cached
+		// condensation to this solver's condense() reuse check.
+		s.lastCond, s.lastCondNodes, s.lastCondTrans = sk.cond, len(s.nodes), sk.transitions
+	}
 
 	if s.propWorkers > 1 {
 		seeds := make([]int, len(s.nodes))
@@ -164,6 +186,9 @@ func (s *solver) solveOnSkeleton(sk *skeleton) (*Result, error) {
 		}
 		if err := s.propagate(seeds, s.opts.EarlyTermination); err != nil {
 			return nil, err
+		}
+		if sk.cond == nil {
+			sk.cond = s.lastCond // first purpose pays the Tarjan pass; later ones reuse
 		}
 	} else {
 		for changed := true; changed; {

@@ -89,6 +89,55 @@ func TestBatchCooperativeFallback(t *testing.T) {
 	}
 }
 
+// TestBatchSkeletonStats pins the cache counters: the first purpose of a
+// signature is a skeleton miss, every later one a hit, and — with the
+// parallel propagator — only the first per-purpose fixpoint pays the Tarjan
+// pass, later ones reuse the skeleton's cached condensation.
+func TestBatchSkeletonStats(t *testing.T) {
+	sys := models.SmartLight()
+	env := models.SmartLightEnv(sys)
+	b, err := NewBatch(sys, Options{Workers: 1, PropagationWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := b.Solve(tctl.MustParse(env, "control: A<> IUT.Bright"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.SkeletonMisses != 1 || first.Stats.SkeletonHits != 0 {
+		t.Fatalf("first purpose must miss the skeleton cache: %+v", first.Stats)
+	}
+	second, err := b.Solve(tctl.MustParse(env, "control: A<> IUT.Dim"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.SkeletonHits != 1 || second.Stats.SkeletonMisses != 0 {
+		t.Fatalf("second purpose must hit the skeleton cache: %+v", second.Stats)
+	}
+	if second.Stats.CondensationReuses == 0 {
+		t.Fatalf("second purpose must reuse the skeleton's condensation: %+v", second.Stats)
+	}
+	if !second.Winnable {
+		t.Fatal("Dim purpose must stay winnable on the reused condensation")
+	}
+}
+
+// TestExtrapolationSignature: purposes without clock atoms share the
+// signature; a clock atom widens the maxima and changes it.
+func TestExtrapolationSignature(t *testing.T) {
+	sys := models.SmartLight()
+	env := models.SmartLightEnv(sys)
+	a := ExtrapolationSignature(sys, tctl.MustParse(env, "control: A<> IUT.Bright"))
+	b := ExtrapolationSignature(sys, tctl.MustParse(env, "control: A<> IUT.Dim"))
+	c := ExtrapolationSignature(sys, tctl.MustParse(env, "control: A<> IUT.Bright and x > 100"))
+	if a == "" || a != b {
+		t.Fatalf("location-only purposes must share the signature: %q vs %q", a, b)
+	}
+	if a == c {
+		t.Fatalf("a wider clock atom must change the signature: %q", c)
+	}
+}
+
 // TestBatchRejectsSafety pins the reachability-only contract.
 func TestBatchRejectsSafety(t *testing.T) {
 	sys := models.SmartLight()

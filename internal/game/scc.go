@@ -112,8 +112,19 @@ type condensation struct {
 // Frontier nodes that are interned but unexplored have no successors and
 // become singleton sink components, which is harmless: they hold no winning
 // zones until explored.
+//
+// Nodes and edges are only ever added, so while the node and transition
+// counts are unchanged since the last call the graph is byte-for-byte the
+// same and the previous condensation is returned as-is (counted in
+// Stats.CondensationReuses). This skips the O(V+E) Tarjan pass between
+// on-the-fly propagation rounds whose frontier added nothing, and — via the
+// skeleton cache in batch.go — across the per-purpose fixpoints of a Batch.
 func (s *solver) condense() *condensation {
 	n := len(s.nodes)
+	if s.lastCond != nil && s.lastCondNodes == n && s.lastCondTrans == s.stats.Transitions {
+		s.stats.CondensationReuses++
+		return s.lastCond
+	}
 	compOf, comps := tarjanSCC(n,
 		func(u int) int { return len(s.nodes[u].succs) },
 		func(u, i int) int { return s.nodes[u].succs[i].target },
@@ -142,5 +153,6 @@ func (s *solver) condense() *condensation {
 			}
 		}
 	}
+	s.lastCond, s.lastCondNodes, s.lastCondTrans = c, n, s.stats.Transitions
 	return c
 }

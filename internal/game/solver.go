@@ -97,9 +97,15 @@ type Stats struct {
 	Duration      time.Duration // wall-clock solve time
 
 	// Parallel-propagation counters (zero under the serial engine).
-	SCCs              int // components in the last condensation of the graph
-	PropagationRounds int // SCC propagation passes run
-	CrossSCCMessages  int // reschedules that crossed a component boundary
+	SCCs               int // components in the last condensation of the graph
+	PropagationRounds  int // SCC propagation passes run
+	CrossSCCMessages   int // reschedules that crossed a component boundary
+	CondensationReuses int // propagation passes that reused the previous condensation
+
+	// Batch counters (zero outside game.Batch solving): whether this solve
+	// reused an already-explored skeleton for its extrapolation signature.
+	SkeletonHits   int
+	SkeletonMisses int
 }
 
 // Result of a solve run.
@@ -189,6 +195,13 @@ type solver struct {
 	initPoint      []int64 // scratch valuation for initialDecided
 	t0             time.Time
 	safety         bool // solving the safety dual (win federations hold LOSING sets)
+
+	// Condensation cache: condense() reuses lastCond while the graph shape
+	// (node and transition counts; nodes and edges are only ever added) is
+	// unchanged since it was computed.
+	lastCond      *condensation
+	lastCondNodes int
+	lastCondTrans int
 
 	exploreQ []int
 	reevalQ  []int

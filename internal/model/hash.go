@@ -1,0 +1,143 @@
+// Structural content hashing of systems.
+//
+// The service layer caches synthesized strategies under content-addressed
+// keys: two models with identical structure — regardless of how they were
+// built (DSL file, programmatic constructor, clone) — must hash equally,
+// and any semantic difference (a guard constant, an invariant, a reset, an
+// initial value) must change the hash. The hash walks every field the
+// solvers read; expression trees are folded through their canonical String
+// rendering (the printer is injective enough for hashing: it parenthesizes
+// subtrees and spells operators distinctly).
+package model
+
+import (
+	"fmt"
+
+	"tigatest/internal/expr"
+)
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// hasher folds values into a running 64-bit FNV-1a hash.
+type hasher uint64
+
+func (h *hasher) u64(v uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x = (x ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	*h = hasher(x)
+}
+
+func (h *hasher) int(v int)   { h.u64(uint64(int64(v))) }
+func (h *hasher) bool(v bool) { h.u64(uint64(b2u(v))) }
+
+func b2u(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func (h *hasher) str(s string) {
+	x := uint64(*h)
+	for i := 0; i < len(s); i++ {
+		x = (x ^ uint64(s[i])) * fnvPrime64
+	}
+	// Fold the length so "ab"+"c" and "a"+"bc" differ.
+	*h = hasher(x)
+	h.int(len(s))
+}
+
+func (h *hasher) constraints(cs []ClockConstraint) {
+	h.int(len(cs))
+	for _, c := range cs {
+		h.int(c.I)
+		h.int(c.J)
+		h.int(c.Bound.Value())
+		h.bool(c.Bound.Strict())
+	}
+}
+
+func (h *hasher) expr(e expr.Expr) {
+	if e == nil {
+		h.int(-1)
+		return
+	}
+	h.str(e.String())
+}
+
+// Hash returns a 64-bit structural content hash of the system: equal for
+// structurally identical systems (clones hash equal), different for any
+// change the solvers or interpreters can observe. It is the model half of
+// the service's content-addressed strategy-cache key.
+func (s *System) Hash() uint64 {
+	h := hasher(fnvOffset64)
+	h.str(s.Name)
+
+	h.int(len(s.Clocks))
+	for _, c := range s.Clocks {
+		h.str(c.Name)
+	}
+
+	h.int(len(s.Channels))
+	for _, c := range s.Channels {
+		h.str(c.Name)
+		h.int(int(c.Kind))
+	}
+
+	h.int(s.Vars.NumDecls())
+	for i := 0; i < s.Vars.NumDecls(); i++ {
+		d := s.Vars.Decl(i)
+		h.str(d.Name)
+		h.int(d.Min)
+		h.int(d.Max)
+		h.int(d.Len)
+		h.int(len(d.Init))
+		for _, v := range d.Init {
+			h.int(v)
+		}
+	}
+
+	h.int(len(s.Procs))
+	for _, p := range s.Procs {
+		h.str(p.Name)
+		h.int(p.Init)
+		h.int(len(p.Locations))
+		for _, l := range p.Locations {
+			h.str(l.Name)
+			h.bool(l.Urgent)
+			h.bool(l.Committed)
+			h.constraints(l.Invariant)
+		}
+		h.int(len(p.Edges))
+		for ei := range p.Edges {
+			e := &p.Edges[ei]
+			h.int(e.Src)
+			h.int(e.Dst)
+			h.int(e.Chan)
+			h.int(int(e.Dir))
+			h.int(int(e.Kind))
+			h.constraints(e.Guard.Clocks)
+			h.expr(e.Guard.Data)
+			h.int(len(e.Resets))
+			for _, r := range e.Resets {
+				h.int(r.Clock)
+				h.int(r.Value)
+			}
+			h.int(len(e.Assigns))
+			for _, a := range e.Assigns {
+				h.str(a.String())
+			}
+		}
+	}
+	return uint64(h)
+}
+
+// HashKey renders the hash as the printable model key used in
+// content-addressed cache keys and stats.
+func (s *System) HashKey() string { return fmt.Sprintf("%016x", s.Hash()) }

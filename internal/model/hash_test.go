@@ -1,0 +1,78 @@
+package model
+
+import (
+	"testing"
+)
+
+func hashFixture() *System {
+	s := NewSystem("fixture")
+	x := s.AddClock("x")
+	a := s.AddChannel("a", Controllable)
+	b := s.AddChannel("b", Uncontrollable)
+	p := s.AddProcess("P")
+	l0 := p.AddLocation(Location{Name: "L0"})
+	l1 := p.AddLocation(Location{Name: "L1", Invariant: []ClockConstraint{LE(x, 5)}})
+	s.AddEdge(p, Edge{Src: l0, Dst: l1, Dir: Receive, Chan: a,
+		Guard:  Guard{Clocks: []ClockConstraint{GE(x, 2)}},
+		Resets: []ClockReset{{Clock: x}}})
+	s.AddEdge(p, Edge{Src: l1, Dst: l0, Dir: Emit, Chan: b})
+	q := s.AddProcess("Q")
+	q0 := q.AddLocation(Location{Name: "Q0"})
+	s.AddEdge(q, Edge{Src: q0, Dst: q0, Dir: Emit, Chan: a})
+	s.AddEdge(q, Edge{Src: q0, Dst: q0, Dir: Receive, Chan: b})
+	return s
+}
+
+func TestHashCloneEqual(t *testing.T) {
+	s := hashFixture()
+	if s.Hash() != s.Hash() {
+		t.Fatal("hash must be deterministic")
+	}
+	if c := s.Clone(); c.Hash() != s.Hash() {
+		t.Fatal("structural clone must hash equal")
+	}
+	// An independently built identical system hashes equal too (content
+	// addressing does not depend on build provenance).
+	if o := hashFixture(); o.Hash() != s.Hash() {
+		t.Fatal("identically built system must hash equal")
+	}
+}
+
+func TestHashObservesSemanticChanges(t *testing.T) {
+	base := hashFixture().Hash()
+	seen := map[uint64]string{base: "base"}
+	check := func(what string, mutate func(*System)) {
+		s := hashFixture()
+		mutate(s)
+		h := s.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("%s collides with %s", what, prev)
+		}
+		seen[h] = what
+	}
+	check("guard constant", func(s *System) {
+		s.Procs[0].Edges[0].Guard.Clocks[0] = GE(1, 3)
+	})
+	check("strictness", func(s *System) {
+		s.Procs[0].Edges[0].Guard.Clocks[0] = GT(1, 2)
+	})
+	check("invariant dropped", func(s *System) {
+		s.Procs[0].Locations[1].Invariant = nil
+	})
+	check("reset dropped", func(s *System) {
+		s.Procs[0].Edges[0].Resets = nil
+	})
+	check("channel kind", func(s *System) {
+		s.Channels[1].Kind = Controllable
+		s.Procs[0].Edges[1].Kind = Controllable
+	})
+	check("urgent location", func(s *System) {
+		s.Procs[0].Locations[0].Urgent = true
+	})
+	check("initial location", func(s *System) {
+		s.Procs[0].Init = 1
+	})
+	check("edge retargeted", func(s *System) {
+		s.Procs[0].Edges[1].Dst = 1
+	})
+}

@@ -1,0 +1,32 @@
+package models
+
+import (
+	"fmt"
+
+	"tigatest/internal/model"
+	"tigatest/internal/tctl"
+)
+
+// ByName resolves a built-in model by its CLI name: the system, its parse
+// environment, the plant process indices and the model's standard test
+// purpose. lepNodes sizes the LEP instance (ignored for other models).
+// Every command that accepts -model goes through here, so the set of
+// built-in names cannot drift between CLIs.
+func ByName(name string, lepNodes int) (sys *model.System, env *tctl.ParseEnv, plant []int, goal string, err error) {
+	switch name {
+	case "smartlight":
+		sys = SmartLight()
+		return sys, SmartLightEnv(sys), SmartLightPlant(sys), SmartLightGoal, nil
+	case "traingate":
+		sys = TrainGate()
+		return sys, TrainGateEnv(sys), TrainGatePlant(sys), TrainGateGoal, nil
+	case "lep":
+		if lepNodes <= 0 {
+			return nil, nil, nil, "", fmt.Errorf("models: lep needs a positive instance size")
+		}
+		sys = LEP(LEPOptions{Nodes: lepNodes})
+		return sys, LEPEnv(sys, lepNodes), LEPPlant(sys), LEPTP1, nil
+	default:
+		return nil, nil, nil, "", fmt.Errorf("models: unknown built-in model %q (use smartlight, traingate or lep)", name)
+	}
+}

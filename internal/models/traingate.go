@@ -83,6 +83,10 @@ func TrainGate() *model.System {
 	return s
 }
 
+// TrainGateGoal is the train-gate's standard test purpose: steer a train
+// through the crossing with the gate safely closed.
+const TrainGateGoal = "control: A<> Train.Crossing and Gate.Closed"
+
 // TrainGateEnv returns the parse environment for train-gate purposes.
 func TrainGateEnv(s *model.System) *tctl.ParseEnv {
 	return &tctl.ParseEnv{Sys: s, Ranges: map[string]tctl.Range{}}

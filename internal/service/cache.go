@@ -1,0 +1,102 @@
+// Content-addressed strategy cache with singleflight deduplication.
+//
+// Synthesis is the expensive operation the service amortizes: one solved
+// game serves every later request for the same goal. The cache key is pure
+// content — the model's structural hash, the purpose's extrapolation
+// signature and canonical rendering, and the game mode — so equal requests
+// hit regardless of which session, connection or spelling produced them.
+// Singleflight collapses the thundering herd: N simultaneous requests for
+// one key run exactly one solve; the other N-1 block on the entry's ready
+// channel and are counted as (joined) hits. Failed solves (budget, bad
+// purpose against this model) are not cached, so transient failures do not
+// poison the key.
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tigatest/internal/game"
+)
+
+// cacheKey is the content address of one synthesized strategy.
+type cacheKey struct {
+	model   uint64 // model.System.Hash()
+	sig     string // game.ExtrapolationSignature
+	purpose string // canonical tctl rendering
+	coop    bool   // strict vs cooperative game
+}
+
+// cacheEntry is one cache slot; ready closes when res/err are final.
+type cacheEntry struct {
+	ready chan struct{}
+	res   *game.Result
+	err   error
+}
+
+// strategyCache is the concurrent cache. Counters are atomics so the stats
+// endpoint reads them without taking the map lock.
+type strategyCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+
+	hits     atomic.Int64 // served without starting a solve
+	misses   atomic.Int64 // solves started
+	joined   atomic.Int64 // hits that waited on an in-flight solve
+	inflight atomic.Int64 // solves currently running
+}
+
+func newStrategyCache() *strategyCache {
+	return &strategyCache{entries: map[cacheKey]*cacheEntry{}}
+}
+
+// get returns the cached result for key, running solve exactly once per
+// key across any number of concurrent callers.
+func (c *strategyCache) get(key cacheKey, solve func() (*game.Result, error)) (*game.Result, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits.Add(1)
+		select {
+		case <-e.ready:
+		default:
+			c.joined.Add(1)
+		}
+		c.mu.Unlock()
+		<-e.ready
+		return e.res, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.misses.Add(1)
+	c.inflight.Add(1)
+	c.mu.Unlock()
+
+	e.res, e.err = solve()
+	if e.err != nil {
+		// Do not cache failures; the next request retries. Joined waiters
+		// still observe this attempt's error through the entry they hold.
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	c.inflight.Add(-1)
+	close(e.ready)
+	return e.res, e.err
+}
+
+// size returns the number of completed-or-inflight entries.
+func (c *strategyCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *strategyCache) stats() CacheStats {
+	return CacheStats{
+		Entries:  c.size(),
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Joined:   c.joined.Load(),
+		Inflight: c.inflight.Load(),
+	}
+}

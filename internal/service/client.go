@@ -1,0 +1,162 @@
+// Client side of the control API, used by cmd/tigaload and tests. A
+// client owns one session; Run with a non-nil IUT hosts it inline — while
+// the daemon drives the adapter protocol, the client answers the wire
+// frames against the IUT and keeps reading until the result line hands
+// control back.
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+
+	"tigatest/internal/adapter"
+	"tigatest/internal/tiots"
+)
+
+// ErrBusy reports that the daemon's session semaphore is full (explicit
+// backpressure; retry later or against another instance).
+var ErrBusy = errors.New("service: busy")
+
+// ErrDraining reports that the daemon is shutting down.
+var ErrDraining = errors.New("service: draining")
+
+// Client is one control-API session.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	enc  *json.Encoder
+}
+
+// Dial opens a session and consumes the greeting. A full daemon answers
+// with ErrBusy, a stopping one with ErrDraining.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, r: bufio.NewReader(conn), enc: json.NewEncoder(conn)}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	switch resp.Event {
+	case "hello":
+		return c, nil
+	case "busy":
+		conn.Close()
+		return nil, ErrBusy
+	case "draining":
+		conn.Close()
+		return nil, ErrDraining
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("service: unexpected greeting %q", resp.Event)
+	}
+}
+
+// Close ends the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// do sends the request and awaits its result, serving adapter frames
+// against iut in between (iut == nil: wire frames are a protocol error).
+func (c *Client) do(req *Request, iut tiots.IUT) (*Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	for {
+		line, err := c.r.ReadBytes('\n')
+		if err != nil {
+			return nil, err
+		}
+		var probe struct {
+			Type  string `json:"type"`
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, err
+		}
+		if probe.Type != "" {
+			// Adapter wire frame: the daemon is testing our implementation.
+			if iut == nil {
+				return nil, fmt.Errorf("service: unexpected wire frame %q outside an inline run", probe.Type)
+			}
+			var m adapter.Message
+			if err := json.Unmarshal(line, &m); err != nil {
+				return nil, err
+			}
+			if err := c.enc.Encode(adapter.Apply(iut, m)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		var resp Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			return nil, err
+		}
+		if resp.Error != "" {
+			return &resp, fmt.Errorf("service: %s", resp.Error)
+		}
+		return &resp, nil
+	}
+}
+
+// RawRoundTrip sends one pre-encoded request line and returns the raw
+// response line — the byte-identity probe (no inline IUT hosting).
+func (c *Client) RawRoundTrip(line []byte) ([]byte, error) {
+	if _, err := c.conn.Write(append(append([]byte(nil), line...), '\n')); err != nil {
+		return nil, err
+	}
+	return c.r.ReadBytes('\n')
+}
+
+// Synthesize resolves a purpose to a strategy (cache-backed server-side).
+func (c *Client) Synthesize(model, purpose, mode string) (*SynthInfo, error) {
+	resp, err := c.do(&Request{Op: "synthesize", Model: model, Purpose: purpose, Mode: mode}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Synth, nil
+}
+
+// Run executes a run request. A nil iut runs against the daemon's local
+// conformant implementation; a non-nil iut is hosted inline on this
+// session.
+func (c *Client) Run(req Request, iut tiots.IUT) (*RunInfo, error) {
+	req.Op = "run"
+	if iut != nil {
+		req.IUT = "inline"
+	}
+	resp, err := c.do(&req, iut)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Run, nil
+}
+
+// Campaign runs a coverage campaign and returns the canonical report.
+func (c *Client) Campaign(req Request) (json.RawMessage, error) {
+	req.Op = "campaign"
+	resp, err := c.do(&req, nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Report, nil
+}
+
+// Stats fetches the service counters.
+func (c *Client) Stats() (*Stats, error) {
+	resp, err := c.do(&Request{Op: "stats"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}

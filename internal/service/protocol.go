@@ -1,0 +1,146 @@
+// Control-API wire types: one JSON object per line in each direction.
+//
+// A session opens with a server "hello" (or "busy") event, then alternates
+// client requests and server "result" responses. A run request with
+// iut == "inline" interleaves adapter-protocol frames between the request
+// and its result: the daemon drives reset/seed/offer/advance against the
+// client's implementation on the same connection (frames are told apart by
+// their "type" vs "event" keys), which is what makes a session an online
+// test session in the paper's sense — the strategy executes server-side
+// against a live remote IUT.
+//
+// Responses carry no volatile data (no timestamps, no cache provenance)
+// and are encoded from fixed struct layouts, so identical requests yield
+// byte-identical response lines; campaign reports embed the canonical
+// byte-reproducible encoding of internal/campaign, compacted onto the
+// line. Cache and session telemetry is observable only through the stats
+// endpoint, which is volatile by nature.
+package service
+
+import (
+	"encoding/json"
+)
+
+// Request is one control-API call.
+type Request struct {
+	// Op selects the endpoint: "synthesize", "run", "campaign" or "stats".
+	Op string `json:"op"`
+	// Model names a registered model.
+	Model string `json:"model,omitempty"`
+	// Purpose is the tctl test purpose (synthesize, run).
+	Purpose string `json:"purpose,omitempty"`
+	// Mode selects the game: "auto" (default: strict first, cooperative
+	// fallback — the paper's §3.2 ordering), "strict" or "cooperative".
+	Mode string `json:"mode,omitempty"`
+	// IUT selects the implementation a run executes against: "local"
+	// (default; the daemon interprets the conformant extraction of the
+	// model) or "inline" (the client hosts its implementation on this
+	// connection via the adapter protocol).
+	IUT string `json:"iut,omitempty"`
+	// Seed drives per-repeat seed derivation (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Repeats runs the cell this many times (default 1).
+	Repeats int `json:"repeats,omitempty"`
+	// Coverage/Mutants/Workers parameterize campaign requests like the
+	// cmd/campaign flags (coverage loc|edge|all, mutants -1|0|n, cell
+	// workers).
+	Coverage string `json:"coverage,omitempty"`
+	Mutants  int    `json:"mutants,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+}
+
+// Response is one control-API reply (or the session greeting).
+type Response struct {
+	// Event is "hello" (session granted), "busy" (backpressure: the
+	// session semaphore is full), "draining" (shutdown in progress) or
+	// "result".
+	Event string `json:"event"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	Synth *SynthInfo `json:"synth,omitempty"`
+	Run   *RunInfo   `json:"run,omitempty"`
+	// Report is the campaign's canonical byte-reproducible JSON report,
+	// compacted onto the response line.
+	Report json.RawMessage `json:"report,omitempty"`
+	Stats  *Stats          `json:"stats,omitempty"`
+}
+
+// SynthInfo describes a synthesized (or refuted) strategy.
+type SynthInfo struct {
+	Model string `json:"model"`
+	// ModelHash is the structural content hash the cache keys on.
+	ModelHash string `json:"model_hash"`
+	// Signature is the extrapolation signature of the purpose (purposes
+	// sharing it share one explored zone graph in the solver's batch).
+	Signature   string `json:"signature"`
+	Purpose     string `json:"purpose"` // canonical formula rendering
+	Mode        string `json:"mode"`
+	Winnable    bool   `json:"winnable"`
+	Cooperative bool   `json:"cooperative"`
+	Nodes       int    `json:"nodes"`
+	Transitions int    `json:"transitions"`
+}
+
+// ReasonCount mirrors campaign.ReasonCount for run tallies.
+type ReasonCount struct {
+	Reason string `json:"reason"`
+	Count  int    `json:"count"`
+}
+
+// RunInfo is the outcome of one run request: the synthesized strategy and
+// the tally of its repeats.
+type RunInfo struct {
+	Synth   SynthInfo     `json:"synth"`
+	Verdict string        `json:"verdict"`
+	Pass    int           `json:"pass"`
+	Fail    int           `json:"fail"`
+	Incon   int           `json:"incon"`
+	Reasons []ReasonCount `json:"reasons"`
+}
+
+// CacheStats are the strategy-cache counters. Hits counts every request
+// served without starting a solve, Joined the subset that waited on an
+// in-flight solve (singleflight), Misses the solves started; for K
+// concurrent identical requests Misses grows by 1 and Hits by K-1.
+type CacheStats struct {
+	Entries  int   `json:"entries"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Joined   int64 `json:"joined"`
+	Inflight int64 `json:"inflight"`
+}
+
+// SessionStats are the session-layer counters.
+type SessionStats struct {
+	Active   int64 `json:"active"`
+	Peak     int64 `json:"peak"`
+	Total    int64 `json:"total"`
+	Busy     int64 `json:"busy"` // connections rejected with the busy event
+	Requests int64 `json:"requests"`
+	TestRuns int64 `json:"test_runs"` // individual strategy-vs-IUT executions
+}
+
+// SolverStats aggregate game.Stats over every solve the service ran.
+type SolverStats struct {
+	Solves             int64 `json:"solves"`
+	SkeletonHits       int64 `json:"skeleton_hits"`
+	SkeletonMisses     int64 `json:"skeleton_misses"`
+	CondensationReuses int64 `json:"condensation_reuses"`
+}
+
+// ModelInfo describes one registered model.
+type ModelInfo struct {
+	Name  string   `json:"name"`
+	Hash  string   `json:"hash"`
+	Procs int      `json:"procs"`
+	Plant []string `json:"plant"`
+}
+
+// Stats is the stats-endpoint payload.
+type Stats struct {
+	Cache    CacheStats   `json:"cache"`
+	Sessions SessionStats `json:"sessions"`
+	Solver   SolverStats  `json:"solver"`
+	Models   []ModelInfo  `json:"models"`
+}

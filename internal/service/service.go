@@ -1,0 +1,367 @@
+// Package service is the resident test daemon: it loads models once,
+// synthesizes strategies on demand behind a content-addressed singleflight
+// cache (cache.go), and hosts many concurrent online test sessions over a
+// line-JSON control API (protocol.go, session.go). Where the CLIs re-parse
+// and re-solve per invocation, the service solves once and plays many —
+// the fixpoint cost amortizes across the whole fleet of implementations
+// under test, which is the regime of adaptive specification-coverage
+// testing at serving scale.
+//
+// Concurrency model: sessions are connection-scoped and bounded by a
+// semaphore — a full daemon answers new connections with an explicit
+// "busy" event instead of queuing them (backpressure, not queue collapse).
+// Strategy consultation is read-only, so any number of sessions execute
+// tests concurrently; solving serializes per model (game.Batch is
+// single-threaded) underneath the cache's singleflight, which already
+// collapses identical requests to one solve. Drain stops accepting, lets
+// in-flight requests finish, then closes every session — clean full-drain
+// shutdown for SIGTERM.
+package service
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tigatest/internal/game"
+	"tigatest/internal/model"
+	"tigatest/internal/tctl"
+	"tigatest/internal/texec"
+	"tigatest/internal/tiots"
+)
+
+// Options configure a Service.
+type Options struct {
+	// MaxSessions bounds concurrent sessions; connections beyond it are
+	// answered with a busy event and closed (default 64).
+	MaxSessions int
+	// Solver configures strategy synthesis. PropagationWorkers defaults to
+	// 1: propagation stamps above one worker are schedule-dependent and
+	// could reorder strategy decisions, breaking byte-identical responses.
+	Solver game.Options
+	// Scale is ticks per model time unit (default tiots.Scale).
+	Scale int64
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// modelEntry is one registered model with its solver state.
+type modelEntry struct {
+	sys   *model.System
+	env   *tctl.ParseEnv
+	plant []int
+	impl  *model.System // conformant extraction for local runs
+	hash  uint64
+
+	// solveMu serializes solves on the batch (game.Batch is not safe for
+	// concurrent use). The cache's singleflight already collapses identical
+	// requests; this lock only orders solves of distinct purposes on the
+	// same model.
+	solveMu sync.Mutex
+	batch   *game.Batch
+}
+
+// Service is the daemon state. Create with New, register models with
+// AddModel, then Listen.
+type Service struct {
+	opts  Options
+	cache *strategyCache
+
+	mu       sync.Mutex
+	models   map[string]*modelEntry
+	sessions map[*session]struct{}
+	ln       net.Listener
+	draining bool
+
+	wg sync.WaitGroup // accept loop + live sessions
+
+	sessActive atomic.Int64
+	sessPeak   atomic.Int64
+	sessTotal  atomic.Int64
+	sessBusy   atomic.Int64
+	requests   atomic.Int64
+	testRuns   atomic.Int64
+
+	solves             atomic.Int64
+	skeletonHits       atomic.Int64
+	skeletonMisses     atomic.Int64
+	condensationReuses atomic.Int64
+}
+
+// New creates a service with no models registered.
+func New(opts Options) *Service {
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = 64
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = tiots.Scale
+	}
+	if opts.Solver.PropagationWorkers == 0 {
+		opts.Solver.PropagationWorkers = 1
+	}
+	return &Service{
+		opts:     opts,
+		cache:    newStrategyCache(),
+		models:   map[string]*modelEntry{},
+		sessions: map[*session]struct{}{},
+	}
+}
+
+func (s *Service) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// AddModel registers a model under sys.Name. plant lists the
+// implementation-side process indices (nil = texec.GuessPlantProcs). The
+// model must not change after registration (its structural hash becomes
+// part of every cache key).
+func (s *Service) AddModel(sys *model.System, env *tctl.ParseEnv, plant []int) error {
+	if err := sys.Validate(); err != nil {
+		return err
+	}
+	if len(plant) == 0 {
+		plant = texec.GuessPlantProcs(sys)
+	}
+	if len(plant) == 0 {
+		return fmt.Errorf("service: model %s has no plant processes", sys.Name)
+	}
+	batch, err := game.NewBatch(sys, s.opts.Solver)
+	if err != nil {
+		return err
+	}
+	me := &modelEntry{
+		sys:   sys,
+		env:   env,
+		plant: plant,
+		impl:  model.ExtractPlant(sys, plant, "Stub"),
+		hash:  sys.Hash(),
+		batch: batch,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.models[sys.Name]; dup {
+		return fmt.Errorf("service: duplicate model %s", sys.Name)
+	}
+	s.models[sys.Name] = me
+	return nil
+}
+
+// modelByName looks up a registered model.
+func (s *Service) modelByName(name string) (*modelEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	me, ok := s.models[name]
+	return me, ok
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting sessions.
+func (s *Service) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	s.logf("service: listening on %s", ln.Addr())
+	return nil
+}
+
+// Addr returns the bound listener address.
+func (s *Service) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Service) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			done := s.draining
+			s.mu.Unlock()
+			if done {
+				return
+			}
+			// Transient accept failure (fd exhaustion under overload is
+			// the canonical one): back off briefly instead of spinning.
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		s.admit(conn)
+	}
+}
+
+// admit grants the connection a session slot or answers busy. The session
+// semaphore is the registry size bound, checked under the same lock that
+// registers the session, so the MaxSessions bound is exact.
+func (s *Service) admit(conn net.Conn) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeEvent(conn, &Response{Event: "draining", Error: "draining"})
+		conn.Close()
+		return
+	}
+	if len(s.sessions) >= s.opts.MaxSessions {
+		s.mu.Unlock()
+		s.sessBusy.Add(1)
+		writeEvent(conn, &Response{Event: "busy", Error: "busy"})
+		conn.Close()
+		return
+	}
+	ss := newSession(s, conn)
+	s.sessions[ss] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.sessTotal.Add(1)
+	active := s.sessActive.Add(1)
+	for {
+		peak := s.sessPeak.Load()
+		if active <= peak || s.sessPeak.CompareAndSwap(peak, active) {
+			break
+		}
+	}
+	go func() {
+		defer func() {
+			s.mu.Lock()
+			delete(s.sessions, ss)
+			s.mu.Unlock()
+			s.sessActive.Add(-1)
+			s.wg.Done()
+		}()
+		ss.serve()
+	}()
+}
+
+// Drain performs graceful shutdown: stop accepting, close idle sessions,
+// let in-flight requests finish (their sessions close right after the
+// response), and return once every session is gone.
+func (s *Service) Drain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	ln := s.ln
+	for ss := range s.sessions {
+		ss.interruptIfIdle()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	s.logf("service: drained")
+}
+
+// Draining reports whether Drain has been initiated.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// noteSolve folds a completed solve's statistics into the service
+// aggregates.
+func (s *Service) noteSolve(st game.Stats) {
+	s.solves.Add(1)
+	s.skeletonHits.Add(int64(st.SkeletonHits))
+	s.skeletonMisses.Add(int64(st.SkeletonMisses))
+	s.condensationReuses.Add(int64(st.CondensationReuses))
+}
+
+// synthesize resolves a purpose to a strategy through the cache. sig is
+// the purpose's extrapolation signature (computed once by the caller, who
+// also reports it); mode is "auto" (strict first, cooperative fallback),
+// "strict" or "cooperative".
+func (s *Service) synthesize(me *modelEntry, f *tctl.Formula, sig, mode string) (*game.Result, error) {
+	solve := func(coop bool) (*game.Result, error) {
+		key := cacheKey{
+			model:   me.hash,
+			sig:     sig,
+			purpose: f.String(),
+			coop:    coop,
+		}
+		return s.cache.get(key, func() (*game.Result, error) {
+			me.solveMu.Lock()
+			defer me.solveMu.Unlock()
+			res, err := me.batch.Solve(f, coop)
+			if err == nil {
+				s.noteSolve(res.Stats)
+			}
+			return res, err
+		})
+	}
+	switch mode {
+	case "", "auto":
+		res, err := solve(false)
+		if err != nil || res.Winnable {
+			return res, err
+		}
+		return solve(true)
+	case "strict":
+		return solve(false)
+	case "cooperative":
+		return solve(true)
+	default:
+		return nil, fmt.Errorf("service: unknown mode %q (use auto, strict or cooperative)", mode)
+	}
+}
+
+// StatsSnapshot assembles the stats-endpoint payload (also used by
+// cmd/tigad for its exit report).
+func (s *Service) StatsSnapshot() *Stats {
+	st := &Stats{
+		Cache: s.cache.stats(),
+		Sessions: SessionStats{
+			Active:   s.sessActive.Load(),
+			Peak:     s.sessPeak.Load(),
+			Total:    s.sessTotal.Load(),
+			Busy:     s.sessBusy.Load(),
+			Requests: s.requests.Load(),
+			TestRuns: s.testRuns.Load(),
+		},
+		Solver: SolverStats{
+			Solves:             s.solves.Load(),
+			SkeletonHits:       s.skeletonHits.Load(),
+			SkeletonMisses:     s.skeletonMisses.Load(),
+			CondensationReuses: s.condensationReuses.Load(),
+		},
+	}
+	s.mu.Lock()
+	names := make([]string, 0, len(s.models))
+	for name := range s.models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		me := s.models[name]
+		mi := ModelInfo{
+			Name:  name,
+			Hash:  fmt.Sprintf("%016x", me.hash),
+			Procs: len(me.sys.Procs),
+		}
+		for _, pi := range me.plant {
+			mi.Plant = append(mi.Plant, me.sys.Procs[pi].Name)
+		}
+		st.Models = append(st.Models, mi)
+	}
+	s.mu.Unlock()
+	return st
+}

@@ -1,0 +1,428 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tigatest/internal/model"
+	"tigatest/internal/models"
+	"tigatest/internal/tiots"
+)
+
+// startService spins up a daemon with the smartlight model registered.
+func startService(t *testing.T, opts Options) *Service {
+	t.Helper()
+	s := New(opts)
+	sys := models.SmartLight()
+	if err := s.AddModel(sys, models.SmartLightEnv(sys), models.SmartLightPlant(sys)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Drain)
+	return s
+}
+
+// countingIUT wraps an IUT and counts the wire traffic it served — the
+// fresh-IUT isolation probe: every session must drive exactly its own
+// instance.
+type countingIUT struct {
+	inner    tiots.IUT
+	resets   atomic.Int64
+	offers   atomic.Int64
+	advances atomic.Int64
+	seeds    atomic.Int64
+}
+
+func (c *countingIUT) Reset() {
+	c.resets.Add(1)
+	c.inner.Reset()
+}
+func (c *countingIUT) Offer(ch int) error {
+	c.offers.Add(1)
+	return c.inner.Offer(ch)
+}
+func (c *countingIUT) Advance(d int64) *tiots.Output {
+	c.advances.Add(1)
+	return c.inner.Advance(d)
+}
+func (c *countingIUT) Seed(int64) { c.seeds.Add(1) }
+
+func smartlightIUT() *countingIUT {
+	sys := models.SmartLight()
+	impl := model.ExtractPlant(sys, models.SmartLightPlant(sys), "Stub")
+	return &countingIUT{inner: tiots.NewDetIUT(impl, tiots.Scale, nil)}
+}
+
+// TestServiceCacheSingleflight is the acceptance criterion: K concurrent
+// sessions requesting the same goal trigger exactly 1 solve; the other
+// K-1 requests are cache hits.
+func TestServiceCacheSingleflight(t *testing.T) {
+	const K = 32
+	s := startService(t, Options{MaxSessions: K})
+	addr := s.Addr()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			info, err := c.Synthesize("smartlight", models.SmartLightGoal, "strict")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !info.Winnable || info.Cooperative {
+				errs <- fmt.Errorf("standard purpose must be strictly winnable: %+v", info)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	cs := s.cache.stats()
+	if cs.Misses != 1 {
+		t.Fatalf("K concurrent identical requests must trigger exactly 1 solve, got %d misses", cs.Misses)
+	}
+	if cs.Hits != K-1 {
+		t.Fatalf("want %d cache hits, got %d", K-1, cs.Hits)
+	}
+	if cs.Inflight != 0 {
+		t.Fatalf("no solve may remain in flight, got %d", cs.Inflight)
+	}
+	if got := s.solves.Load(); got != 1 {
+		t.Fatalf("solver must have run once, got %d", got)
+	}
+}
+
+// TestServiceCacheKeyGranularity: distinct purposes and modes are distinct
+// keys, but share the model's explored skeleton (the batch layer).
+func TestServiceCacheKeyGranularity(t *testing.T) {
+	s := startService(t, Options{})
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Synthesize("smartlight", models.SmartLightGoal, "strict"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Synthesize("smartlight", "control: A<> IUT.Dim", "strict"); err != nil {
+		t.Fatal(err)
+	}
+	// Same goals again: pure hits.
+	if _, err := c.Synthesize("smartlight", models.SmartLightGoal, "strict"); err != nil {
+		t.Fatal(err)
+	}
+	cs := s.cache.stats()
+	if cs.Misses != 2 || cs.Hits != 1 {
+		t.Fatalf("want 2 misses + 1 hit, got %+v", cs)
+	}
+	// The second purpose shared the first one's explored skeleton.
+	if s.skeletonHits.Load() == 0 {
+		t.Fatalf("distinct purposes on one model must share the explored skeleton: %d", s.skeletonHits.Load())
+	}
+}
+
+// TestServiceByteIdenticalResponses: repeated identical control-API
+// requests return byte-identical response lines (synthesize, run against
+// the local conformant implementation, campaign).
+func TestServiceByteIdenticalResponses(t *testing.T) {
+	s := startService(t, Options{})
+	requests := []string{
+		`{"op":"synthesize","model":"smartlight","purpose":"control: A<> IUT.Bright"}`,
+		`{"op":"run","model":"smartlight","purpose":"control: A<> IUT.Bright","repeats":3,"seed":7}`,
+		`{"op":"campaign","model":"smartlight","coverage":"edge","mutants":-1,"workers":2}`,
+	}
+	for _, req := range requests {
+		var first []byte
+		for round := 0; round < 2; round++ {
+			c, err := Dial(s.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			line, err := c.RawRoundTrip([]byte(req))
+			c.Close()
+			if err != nil {
+				t.Fatalf("%s: %v", req, err)
+			}
+			var resp Response
+			if err := json.Unmarshal(line, &resp); err != nil {
+				t.Fatalf("%s: %v", req, err)
+			}
+			if !resp.OK {
+				t.Fatalf("%s: %s", req, resp.Error)
+			}
+			if round == 0 {
+				first = line
+			} else if !bytes.Equal(first, line) {
+				t.Fatalf("%s: responses differ across identical requests:\n--- a ---\n%s\n--- b ---\n%s", req, first, line)
+			}
+		}
+	}
+}
+
+// TestServiceConcurrentInlineSessions drives >= 64 simultaneous online
+// test sessions, each hosting its own implementation inline, under the
+// race detector: every run must pass, every session must have driven
+// exactly its own IUT (fresh-IUT isolation), and the drain must shut the
+// service down cleanly with no session left.
+func TestServiceConcurrentInlineSessions(t *testing.T) {
+	const K = 64
+	const repeats = 2
+	s := startService(t, Options{MaxSessions: K})
+	addr := s.Addr()
+
+	iuts := make([]*countingIUT, K)
+	var wg sync.WaitGroup
+	errs := make(chan error, K)
+	for i := 0; i < K; i++ {
+		iuts[i] = smartlightIUT()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			run, err := c.Run(Request{
+				Model:   "smartlight",
+				Purpose: models.SmartLightGoal,
+				Repeats: repeats,
+				Seed:    int64(i + 1), // per-session seed
+			}, iuts[i])
+			if err != nil {
+				errs <- fmt.Errorf("session %d: %w", i, err)
+				return
+			}
+			if run.Verdict != "pass" || run.Pass != repeats {
+				errs <- fmt.Errorf("session %d: want %d passes, got %+v", i, repeats, run)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Fresh-IUT isolation: every session drove exactly its own instance —
+	// one reset and one seed per repeat, and some offers (the strategy
+	// sends touches).
+	for i, iut := range iuts {
+		if got := iut.resets.Load(); got != repeats {
+			t.Errorf("session %d: want %d resets on its own IUT, got %d", i, repeats, got)
+		}
+		if got := iut.seeds.Load(); got != repeats {
+			t.Errorf("session %d: want %d seeds, got %d", i, repeats, got)
+		}
+		if iut.offers.Load() == 0 {
+			t.Errorf("session %d: strategy must have offered inputs", i)
+		}
+	}
+
+	if got := s.sessTotal.Load(); got != K {
+		t.Errorf("want %d total sessions, got %d", K, got)
+	}
+	if got := s.testRuns.Load(); got != K*repeats {
+		t.Errorf("want %d test runs, got %d", K*repeats, got)
+	}
+	if got := s.cache.stats().Misses; got != 1 {
+		t.Errorf("all sessions share one strategy: want 1 solve, got %d", got)
+	}
+
+	// Clean full drain: no sessions left, new dials refused.
+	s.Drain()
+	if got := s.sessActive.Load(); got != 0 {
+		t.Fatalf("drain must leave no active session, got %d", got)
+	}
+	if _, err := Dial(addr); err == nil {
+		t.Fatal("dial after drain must fail")
+	}
+}
+
+// TestServiceBusyBackpressure: the session semaphore answers excess
+// connections with an explicit busy event instead of queueing them.
+func TestServiceBusyBackpressure(t *testing.T) {
+	s := startService(t, Options{MaxSessions: 1})
+	addr := s.Addr()
+
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dial(addr); err != ErrBusy {
+		t.Fatalf("second concurrent session must be rejected busy, got %v", err)
+	}
+	if s.sessBusy.Load() == 0 {
+		t.Fatal("busy rejections must be counted")
+	}
+
+	// The slot frees when the session ends; a later dial succeeds.
+	c1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c2, err := Dial(addr)
+		if err == nil {
+			c2.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServiceDrainFinishesInflightRequest: a request being handled when
+// Drain starts completes and its response is delivered; the session closes
+// right after.
+func TestServiceDrainFinishesInflightRequest(t *testing.T) {
+	s := startService(t, Options{})
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	drained := make(chan struct{})
+	go func() {
+		// Wait for the request below to be decoded (and thus in flight),
+		// then drain concurrently.
+		for s.requests.Load() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		s.Drain()
+		close(drained)
+	}()
+	// A campaign is slow enough to still be running when Drain fires.
+	if _, err := c.Campaign(Request{Model: "smartlight", Coverage: "edge", Mutants: -1, Workers: 2}); err != nil {
+		t.Fatalf("in-flight request must complete through the drain: %v", err)
+	}
+	<-drained
+	if got := s.sessActive.Load(); got != 0 {
+		t.Fatalf("post-drain active sessions: %d", got)
+	}
+}
+
+// TestServiceStatsAndErrors covers the stats endpoint and the error
+// responses of malformed requests.
+func TestServiceStatsAndErrors(t *testing.T) {
+	s := startService(t, Options{})
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Synthesize("nosuch", models.SmartLightGoal, ""); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	if _, err := c.Synthesize("smartlight", "control: A<> Bogus.Loc", ""); err == nil {
+		t.Fatal("bad purpose must error")
+	}
+	if _, err := c.Run(Request{Model: "smartlight", Purpose: "control: A<> IUT.Bright and z < 1", Mode: "strict"}, nil); err == nil {
+		t.Fatal("running an unwinnable purpose must error")
+	}
+	// Auto mode falls back to the cooperative game for the same purpose.
+	info, err := c.Synthesize("smartlight", "control: A<> IUT.Bright and z < 1", "auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Winnable || !info.Cooperative {
+		t.Fatalf("auto mode must fall back to the cooperative game: %+v", info)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Models) != 1 || st.Models[0].Name != "smartlight" {
+		t.Fatalf("stats must list the registered model: %+v", st.Models)
+	}
+	if st.Models[0].Hash == "" || len(st.Models[0].Plant) == 0 {
+		t.Fatalf("model info incomplete: %+v", st.Models[0])
+	}
+	if st.Sessions.Active != 1 || st.Sessions.Total < 1 {
+		t.Fatalf("session counters off: %+v", st.Sessions)
+	}
+	if st.Solver.Solves == 0 {
+		t.Fatalf("solver counters off: %+v", st.Solver)
+	}
+}
+
+// TestServiceRunLocalMatchesDirect pins the local-run path against direct
+// in-process execution: the daemon's tally must equal what campaign.Runner
+// computes locally for the same seed.
+func TestServiceRunLocalMatchesDirect(t *testing.T) {
+	s := startService(t, Options{})
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	run, err := c.Run(Request{Model: "smartlight", Purpose: models.SmartLightGoal, Repeats: 3, Seed: 9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Verdict != "pass" || run.Pass != 3 || run.Fail != 0 {
+		t.Fatalf("conformant local run must pass all repeats: %+v", run)
+	}
+	if run.Synth.Nodes == 0 || run.Synth.ModelHash == "" || run.Synth.Signature == "" {
+		t.Fatalf("synth info incomplete: %+v", run.Synth)
+	}
+}
+
+// TestServiceCampaignReportCanonical: the embedded campaign report is the
+// canonical encoding — parse it and check the headline invariants.
+func TestServiceCampaignReportCanonical(t *testing.T) {
+	s := startService(t, Options{})
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	raw, err := c.Campaign(Request{Model: "smartlight", Coverage: "edge", Mutants: -1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Model   string `json:"model"`
+		Summary struct {
+			Coverable   int     `json:"coverable"`
+			Covered     int     `json:"covered"`
+			CoveragePct float64 `json:"coverage_pct"`
+		} `json:"summary"`
+		Volatile json.RawMessage `json:"volatile"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Model != "smartlight" || rep.Summary.CoveragePct != 100 {
+		t.Fatalf("campaign report off: %+v", rep)
+	}
+	if len(rep.Volatile) != 0 {
+		t.Fatal("canonical report must strip the volatile section")
+	}
+}

@@ -1,0 +1,272 @@
+// Session layer: one accepted connection = one online test session.
+//
+// The loop alternates decoding a control request and encoding its
+// response. Run requests with an inline IUT flip the connection's
+// direction mid-request: the daemon becomes the adapter-protocol driver
+// (adapter.ClientOn over the session's shared decoder/encoder) and the
+// client answers reset/seed/offer/advance against its live implementation;
+// the final result line hands control back. Drain closes idle sessions
+// immediately and lets a session busy inside a request finish it — the
+// response is written, then the connection closes.
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tigatest/internal/adapter"
+	"tigatest/internal/campaign"
+	"tigatest/internal/game"
+	"tigatest/internal/tctl"
+	"tigatest/internal/texec"
+	"tigatest/internal/tiots"
+)
+
+// session is one control connection.
+type session struct {
+	s    *Service
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+
+	mu     sync.Mutex
+	active bool // a request is being handled right now
+}
+
+func newSession(s *Service, conn net.Conn) *session {
+	return &session{
+		s:    s,
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}
+}
+
+// writeEvent writes a single greeting-style event to a raw connection
+// (used before a session exists: busy/draining rejections).
+func writeEvent(conn net.Conn, resp *Response) {
+	_ = json.NewEncoder(conn).Encode(resp)
+}
+
+// interruptIfIdle kicks an idle session out of its blocking read by
+// expiring the read deadline; a request already buffered on the stream is
+// still returned by the pending Decode, handled, and answered — beginRequest
+// clears the deadline again, so even a request that races the drain gets
+// its response before the session closes (sessions re-check Draining after
+// every response). In-flight sessions are left alone. Called by Drain with
+// the service lock held.
+func (ss *session) interruptIfIdle() {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if !ss.active {
+		_ = ss.conn.SetReadDeadline(time.Now())
+	}
+}
+
+// beginRequest marks the session in flight and clears any drain-set read
+// deadline (inline runs read wire replies from the connection). The mutex
+// orders it against interruptIfIdle: whichever side runs second leaves the
+// connection readable exactly when a request is being handled.
+func (ss *session) beginRequest() {
+	ss.mu.Lock()
+	ss.active = true
+	_ = ss.conn.SetReadDeadline(time.Time{})
+	ss.mu.Unlock()
+}
+
+func (ss *session) endRequest() {
+	ss.mu.Lock()
+	ss.active = false
+	ss.mu.Unlock()
+}
+
+// serve runs the session loop until the client disconnects or the service
+// drains.
+func (ss *session) serve() {
+	defer ss.conn.Close()
+	if err := ss.enc.Encode(&Response{Event: "hello", OK: true}); err != nil {
+		return
+	}
+	for {
+		var req Request
+		if err := ss.dec.Decode(&req); err != nil {
+			return // connection closed (client done, or drain interrupted an idle session)
+		}
+		ss.beginRequest()
+		ss.s.requests.Add(1)
+		resp := ss.handle(&req)
+		err := ss.enc.Encode(resp)
+		ss.endRequest()
+		if err != nil || ss.s.Draining() {
+			return
+		}
+	}
+}
+
+func errResp(format string, args ...any) *Response {
+	return &Response{Event: "result", Error: fmt.Sprintf(format, args...)}
+}
+
+// handle dispatches one request.
+func (ss *session) handle(req *Request) *Response {
+	switch req.Op {
+	case "stats":
+		return &Response{Event: "result", OK: true, Stats: ss.s.StatsSnapshot()}
+	case "synthesize":
+		_, _, info, resp := ss.resolve(req)
+		if resp != nil {
+			return resp
+		}
+		return &Response{Event: "result", OK: true, Synth: info}
+	case "run":
+		return ss.run(req)
+	case "campaign":
+		return ss.campaign(req)
+	default:
+		return errResp("unknown op %q (use synthesize, run, campaign or stats)", req.Op)
+	}
+}
+
+// resolve looks up the model, parses the purpose and synthesizes (through
+// the strategy cache). A non-nil Response reports the failure; otherwise
+// the SynthInfo describes the outcome, winnable or not.
+func (ss *session) resolve(req *Request) (*modelEntry, *game.Result, *SynthInfo, *Response) {
+	me, ok := ss.s.modelByName(req.Model)
+	if !ok {
+		return nil, nil, nil, errResp("unknown model %q", req.Model)
+	}
+	f, err := tctl.Parse(me.env, req.Purpose)
+	if err != nil {
+		return nil, nil, nil, errResp("purpose: %v", err)
+	}
+	sig := game.ExtrapolationSignature(me.sys, f)
+	res, err := ss.s.synthesize(me, f, sig, req.Mode)
+	if err != nil {
+		return nil, nil, nil, errResp("solve: %v", err)
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "auto"
+	}
+	info := &SynthInfo{
+		Model:       req.Model,
+		ModelHash:   fmt.Sprintf("%016x", me.hash),
+		Signature:   sig,
+		Purpose:     f.String(),
+		Mode:        mode,
+		Winnable:    res.Winnable,
+		Nodes:       res.Stats.Nodes,
+		Transitions: res.Stats.Transitions,
+	}
+	if res.Winnable {
+		info.Cooperative = res.Strategy.Cooperative()
+	}
+	return me, res, info, nil
+}
+
+// run synthesizes (through the cache) and executes the strategy against
+// the requested implementation.
+func (ss *session) run(req *Request) *Response {
+	me, res, info, resp := ss.resolve(req)
+	if resp != nil {
+		return resp
+	}
+	if !res.Winnable {
+		return errResp("purpose %s is not winnable under mode %s", info.Purpose, info.Mode)
+	}
+
+	var factory campaign.IUTFactory
+	switch req.IUT {
+	case "", "local":
+		factory = campaign.LocalIUT(me.impl, ss.s.opts.Scale, nil)
+	case "inline":
+		// The client hosts the IUT on this very connection: the daemon
+		// drives the adapter protocol through the session's shared
+		// decoder/encoder. One wire client serves every repeat (texec
+		// resets it per run; the per-repeat seed is forwarded first).
+		wire := adapter.ClientOn(ss.dec, ss.enc)
+		factory = func(seed int64) (tiots.IUT, func(), error) {
+			if err := wire.Seed(seed); err != nil {
+				return nil, nil, err
+			}
+			return wire, nil, nil
+		}
+	default:
+		return errResp("unknown iut %q (use local or inline)", req.IUT)
+	}
+
+	runner := &campaign.Runner{
+		Strategy: res.Strategy,
+		Exec:     texec.Options{PlantProcs: me.plant, Scale: ss.s.opts.Scale},
+	}
+	repeats := req.Repeats
+	if repeats <= 0 {
+		repeats = 1
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	tally := runner.RunCell(factory, repeats, seed)
+	ss.s.testRuns.Add(int64(repeats))
+
+	run := &RunInfo{
+		Synth:   *info,
+		Verdict: tally.Verdict().String(),
+		Pass:    tally.Pass,
+		Fail:    tally.Fail,
+		Incon:   tally.Incon,
+	}
+	for _, rc := range tally.Reasons {
+		run.Reasons = append(run.Reasons, ReasonCount{Reason: rc.Reason, Count: rc.Count})
+	}
+	return &Response{Event: "result", OK: true, Run: run}
+}
+
+// campaign runs a full coverage campaign on the registered model and
+// returns the canonical report, compacted onto the response line.
+func (ss *session) campaign(req *Request) *Response {
+	me, ok := ss.s.modelByName(req.Model)
+	if !ok {
+		return errResp("unknown model %q", req.Model)
+	}
+	coverage := req.Coverage
+	if coverage == "" {
+		coverage = "edge"
+	}
+	cov, err := campaign.ParseCoverage(coverage)
+	if err != nil {
+		return errResp("%v", err)
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rep, err := campaign.Run(me.sys, me.env, campaign.Options{
+		Coverage: cov,
+		Plant:    me.plant,
+		Mutants:  req.Mutants,
+		Workers:  req.Workers,
+		Repeats:  req.Repeats,
+		Seed:     seed,
+		Solver:   ss.s.opts.Solver,
+		Exec:     texec.Options{Scale: ss.s.opts.Scale},
+	})
+	if err != nil {
+		return errResp("campaign: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf, false); err != nil {
+		return errResp("campaign: %v", err)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, buf.Bytes()); err != nil {
+		return errResp("campaign: %v", err)
+	}
+	return &Response{Event: "result", OK: true, Report: json.RawMessage(compact.Bytes())}
+}

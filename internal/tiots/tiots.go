@@ -287,21 +287,37 @@ type DetPolicy struct {
 	// Priority breaks races between simultaneously scheduled outputs
 	// deterministically: lower value fires first; defaults to edge ID.
 	Priority map[int]int
+	// Lazy makes outputs without an explicit ByEdge decision fire at the
+	// CLOSE of their enabled window instead of its opening: the latest
+	// conformant instant, bounded by the firing edges' clock-guard upper
+	// bounds and the source-location invariants of the participating
+	// processes. Outputs whose window nothing closes stay quiescent (also
+	// conformant: time may diverge past them). This is the
+	// lazy-but-conformant determinization campaign planning retries
+	// `ungranted` goals against: an eager plant races past windows the
+	// tester needs open (e.g. smartlight's L5, where a touch can only land
+	// while the light out-waits the user's reaction time).
+	Lazy bool
 }
 
 // decisionFor returns the decision for an edge set (keyed by the first
-// uncontrollable participating edge).
-func (p *DetPolicy) decisionFor(t EnabledTransition) OutputDecision {
+// uncontrollable participating edge); explicit reports whether a ByEdge
+// entry fixed it (Lazy only applies to implicit decisions).
+func (p *DetPolicy) decisionFor(t EnabledTransition) (dec OutputDecision, explicit bool) {
 	if p == nil || p.ByEdge == nil {
-		return OutputDecision{Enabled: true}
+		return OutputDecision{Enabled: true}, false
 	}
 	for _, e := range t.Edges {
 		if d, ok := p.ByEdge[e.ID]; ok {
-			return d
+			return d, true
 		}
 	}
-	return OutputDecision{Enabled: true}
+	return OutputDecision{Enabled: true}, false
 }
+
+// LazyPolicy returns the canonical lazy-but-conformant determinization:
+// every output fires at the close of its enabled window.
+func LazyPolicy() *DetPolicy { return &DetPolicy{Lazy: true} }
 
 func (p *DetPolicy) priorityFor(t EnabledTransition) int {
 	if p != nil && p.Priority != nil {
@@ -421,13 +437,25 @@ func (d *DetIUT) scheduledOutput(dl int64) (EnabledTransition, int64, bool) {
 		if t.Kind != model.Uncontrollable {
 			continue
 		}
-		dec := d.policy.decisionFor(t)
+		dec, explicit := d.policy.decisionFor(t)
 		if !dec.Enabled {
 			continue
 		}
-		sig := transSig(t)
-		waited := d.enabledFor[sig]
-		due := dec.Offset - waited
+		var due int64
+		if d.policy != nil && d.policy.Lazy && !explicit {
+			// Fire at window close. due is relative to now (the clocks have
+			// aged), so no enabledFor subtraction applies; windows nothing
+			// closes stay quiescent.
+			close, bounded := d.windowCloseIn(t)
+			if !bounded {
+				continue
+			}
+			due = close
+		} else {
+			sig := transSig(t)
+			waited := d.enabledFor[sig]
+			due = dec.Offset - waited
+		}
 		if due < 0 {
 			due = 0
 		}
@@ -485,6 +513,37 @@ func (d *DetIUT) Advance(dl int64) *Output {
 		d.stepTime(step)
 		elapsed += step
 	}
+}
+
+// windowCloseIn computes the remaining ticks until the transition's firing
+// window closes: the minimum over the upper bounds of the firing edges'
+// clock guards and of the participating processes' source-location
+// invariants. bounded is false when nothing closes the window (the lazy
+// policy then never fires the output). Strict bounds close one tick early —
+// the last conformant instant is strictly inside them.
+func (d *DetIUT) windowCloseIn(t EnabledTransition) (close int64, bounded bool) {
+	upper := func(cs []model.ClockConstraint) {
+		for _, c := range cs {
+			if c.I == 0 || c.J != 0 {
+				continue // lower bounds open windows; differences are delay-invariant
+			}
+			lim := int64(c.Bound.Value())*d.ip.Scale - d.ip.St.Val[c.I-1]
+			if c.Bound.Strict() {
+				lim--
+			}
+			if lim < 0 {
+				lim = 0
+			}
+			if !bounded || lim < close {
+				close, bounded = lim, true
+			}
+		}
+	}
+	for _, e := range t.Edges {
+		upper(e.Guard.Clocks)
+		upper(d.ip.Sys.Procs[e.Proc].Locations[e.Src].Invariant)
+	}
+	return close, bounded
 }
 
 // nextWindowOpening computes the smallest positive delay (up to limit) at

@@ -141,6 +141,93 @@ func TestDetIUTOffsetPolicy(t *testing.T) {
 	}
 }
 
+func TestDetIUTLazyFiresAtWindowClose(t *testing.T) {
+	s, press, beep := beeper()
+	iut := NewDetIUT(s, Scale, LazyPolicy())
+	if err := iut.Offer(press); err != nil {
+		t.Fatal(err)
+	}
+	out := iut.Advance(10 * Scale)
+	if out == nil || out.Chan != beep {
+		t.Fatal("lazy policy must still fire the bounded output")
+	}
+	// Guard closes at w=4 (before the w<=5 invariant): the lazy instant.
+	if out.After != 4*Scale {
+		t.Fatalf("lazy beep must fire at the guard close (4 units), got %d ticks", out.After)
+	}
+}
+
+func TestDetIUTLazyStrictBoundFiresOneTickEarly(t *testing.T) {
+	s := model.NewSystem("strictbeeper")
+	w := s.AddClock("w")
+	press := s.AddChannel("press", model.Controllable)
+	beep := s.AddChannel("beep", model.Uncontrollable)
+	p := s.AddProcess("Plant")
+	idle := p.AddLocation(model.Location{Name: "Idle"})
+	armed := p.AddLocation(model.Location{Name: "Armed", Invariant: []model.ClockConstraint{model.LE(w, 5)}})
+	s.AddEdge(p, model.Edge{Src: idle, Dst: armed, Dir: model.Receive, Chan: press, Resets: []model.ClockReset{{Clock: w}}})
+	s.AddEdge(p, model.Edge{Src: armed, Dst: idle, Dir: model.Emit, Chan: beep,
+		Guard: model.Guard{Clocks: []model.ClockConstraint{model.GE(w, 2), model.LT(w, 4)}}})
+	env := s.AddProcess("Env")
+	e0 := env.AddLocation(model.Location{Name: "E0"})
+	s.AddEdge(env, model.Edge{Src: e0, Dst: e0, Dir: model.Emit, Chan: press})
+	s.AddEdge(env, model.Edge{Src: e0, Dst: e0, Dir: model.Receive, Chan: beep})
+
+	iut := NewDetIUT(s, Scale, LazyPolicy())
+	iut.Offer(press)
+	out := iut.Advance(10 * Scale)
+	if out == nil || out.Chan != beep {
+		t.Fatal("expected beep")
+	}
+	if out.After != 4*Scale-1 {
+		t.Fatalf("strict guard w<4: last conformant tick is 4*Scale-1, got %d", out.After)
+	}
+}
+
+func TestDetIUTLazyUnboundedWindowStaysQuiescent(t *testing.T) {
+	s := model.NewSystem("unbounded")
+	w := s.AddClock("w")
+	press := s.AddChannel("press", model.Controllable)
+	beep := s.AddChannel("beep", model.Uncontrollable)
+	p := s.AddProcess("Plant")
+	idle := p.AddLocation(model.Location{Name: "Idle"})
+	armed := p.AddLocation(model.Location{Name: "Armed"}) // no invariant
+	s.AddEdge(p, model.Edge{Src: idle, Dst: armed, Dir: model.Receive, Chan: press, Resets: []model.ClockReset{{Clock: w}}})
+	s.AddEdge(p, model.Edge{Src: armed, Dst: idle, Dir: model.Emit, Chan: beep,
+		Guard: model.Guard{Clocks: []model.ClockConstraint{model.GE(w, 2)}}}) // no upper bound
+	env := s.AddProcess("Env")
+	e0 := env.AddLocation(model.Location{Name: "E0"})
+	s.AddEdge(env, model.Edge{Src: e0, Dst: e0, Dir: model.Emit, Chan: press})
+	s.AddEdge(env, model.Edge{Src: e0, Dst: e0, Dir: model.Receive, Chan: beep})
+
+	iut := NewDetIUT(s, Scale, LazyPolicy())
+	iut.Offer(press)
+	if out := iut.Advance(100 * Scale); out != nil {
+		t.Fatalf("nothing closes the window; the lazy plant must stay quiescent, got %+v", out)
+	}
+}
+
+func TestDetIUTLazyExplicitDecisionWins(t *testing.T) {
+	s, press, beep := beeper()
+	var beepEdge int
+	for _, e := range s.Procs[0].Edges {
+		if e.Dir == model.Emit {
+			beepEdge = e.ID
+		}
+	}
+	pol := LazyPolicy()
+	pol.ByEdge = map[int]OutputDecision{beepEdge: {Enabled: true, Offset: Scale / 2}}
+	iut := NewDetIUT(s, Scale, pol)
+	iut.Offer(press)
+	out := iut.Advance(10 * Scale)
+	if out == nil || out.Chan != beep {
+		t.Fatal("expected beep")
+	}
+	if out.After != 2*Scale+Scale/2 {
+		t.Fatalf("explicit offset overrides laziness: window opens at 2, offset 0.5 => 2.5 units; got %d ticks", out.After)
+	}
+}
+
 func TestDetIUTDisabledOutputForcedByInvariant(t *testing.T) {
 	s, press, _ := beeper()
 	var beepEdge int
