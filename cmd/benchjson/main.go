@@ -1,7 +1,10 @@
 // Command benchjson converts `go test -bench` output into a JSON summary,
-// computing serial-vs-parallel speedups for benchmark families that sweep
-// a .../workers=N suffix (BenchmarkSolverParallel, BenchmarkPropagation).
-// The input text is the benchstat-compatible record; the JSON is the
+// computing speedups for benchmark families that sweep a variant suffix:
+// .../workers=N cells are compared against the workers=1 baseline of their
+// family (BenchmarkSolverParallel, BenchmarkPropagation), and
+// .../shared=on cells against their shared=off baseline
+// (BenchmarkCampaignPlan, the shared-core planning ablation). The input
+// text is the benchstat-compatible record; the JSON is the
 // machine-readable digest CI archives next to it.
 //
 // Usage:
@@ -29,12 +32,13 @@ type benchLine struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-// speedup compares one workers=N cell against the workers=1 cell of the
-// same benchmark family.
+// speedup compares one cell against its family's baseline: workers=N vs
+// workers=1, or shared=on vs shared=off.
 type speedup struct {
 	Cell    string  `json:"cell"`
-	Workers int     `json:"workers"`
-	Speedup float64 `json:"speedup"` // ns/op(workers=1) / ns/op(workers=N)
+	Workers int     `json:"workers,omitempty"`
+	Variant string  `json:"variant,omitempty"` // "shared=on" for shared-core cells
+	Speedup float64 `json:"speedup"`           // ns/op(baseline) / ns/op(cell)
 }
 
 type report struct {
@@ -45,6 +49,7 @@ type report struct {
 
 var benchRe = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 var workersRe = regexp.MustCompile(`^(.*)/workers=(\d+)$`)
+var sharedRe = regexp.MustCompile(`^(.*)/shared=(on|off)$`)
 
 func main() {
 	in := flag.String("in", "", "bench output file (default stdin)")
@@ -81,7 +86,11 @@ func main() {
 	}
 
 	for _, sp := range rep.Speedups {
-		fmt.Fprintf(os.Stderr, "%s: workers=%d is %.2fx workers=1\n", sp.Cell, sp.Workers, sp.Speedup)
+		if sp.Variant != "" {
+			fmt.Fprintf(os.Stderr, "%s: %s is %.2fx shared=off\n", sp.Cell, sp.Variant, sp.Speedup)
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: workers=%d is %.2fx workers=1\n", sp.Cell, sp.Workers, sp.Speedup)
+		}
 	}
 	if *minSpeedup > 0 {
 		// A skipped cell must fail enforcement, not drop out of it — an
@@ -90,23 +99,25 @@ func main() {
 		// comparable; a family with a workers=1 baseline but no parallel
 		// pair means the parallel cell itself skipped or died.
 		if len(rep.Speedups) == 0 {
-			fatal(fmt.Errorf("-min-speedup %.2f: no workers=N vs workers=1 pairs in the input (bench failed or skipped?)", *minSpeedup))
+			fatal(fmt.Errorf("-min-speedup %.2f: no baseline-vs-variant pairs in the input (bench failed or skipped?)", *minSpeedup))
 		}
 		paired := map[string]bool{}
 		for _, sp := range rep.Speedups {
 			paired[sp.Cell] = true
 			if sp.Speedup < *minSpeedup {
-				fatal(fmt.Errorf("%s: workers=%d speedup %.2fx below required %.2fx",
-					sp.Cell, sp.Workers, sp.Speedup, *minSpeedup))
+				fatal(fmt.Errorf("%s: speedup %.2fx below required %.2fx",
+					sp.Cell, sp.Speedup, *minSpeedup))
 			}
 		}
 		// Symmetric: any cell of an unpaired family fails — whether the
-		// parallel cell skipped (baseline present, nothing to compare) or
-		// the workers=1 baseline itself skipped (a serial regression
-		// exhausting the budget is precisely what the gate must catch).
+		// comparison cell skipped (baseline present, nothing to compare) or
+		// the baseline itself skipped (a baseline regression exhausting the
+		// budget is precisely what the gate must catch).
 		for _, bl := range rep.Benchmarks {
-			if m := workersRe.FindStringSubmatch(bl.Name); m != nil && !paired[m[1]] {
-				fatal(fmt.Errorf("-min-speedup %.2f: %s has no workers=1 vs workers=N pair to compare (baseline or parallel cell skipped?)", *minSpeedup, m[1]))
+			for _, fam := range families {
+				if m := fam.re.FindStringSubmatch(bl.Name); m != nil && !paired[m[1]] {
+					fatal(fmt.Errorf("-min-speedup %.2f: %s has no baseline-vs-variant pair to compare (one cell skipped?)", *minSpeedup, m[1]))
+				}
 			}
 		}
 	}
@@ -142,30 +153,53 @@ func parse(r io.Reader) (*report, error) {
 		return nil, err
 	}
 
-	// Speedups: for every family with a workers=1 cell, compare the rest.
-	base := map[string]float64{} // family -> ns/op at workers=1
-	for _, bl := range rep.Benchmarks {
-		if m := workersRe.FindStringSubmatch(bl.Name); m != nil && m[2] == "1" {
+	// Speedups: every variant family's non-baseline cells compared against
+	// its baseline cell (workers=N vs workers=1, shared=on vs shared=off).
+	for _, fam := range families {
+		rep.Speedups = append(rep.Speedups, fam.pair(rep.Benchmarks)...)
+	}
+	return rep, nil
+}
+
+// family is one variant-suffix scheme benchmarks sweep: a name regexp with
+// (base, suffix) groups, the suffix value acting as the baseline, and how
+// to annotate a resulting speedup.
+type family struct {
+	re       *regexp.Regexp
+	baseline string
+	annotate func(sp *speedup, suffix string)
+}
+
+var families = []family{
+	{workersRe, "1", func(sp *speedup, suffix string) { sp.Workers, _ = strconv.Atoi(suffix) }},
+	{sharedRe, "off", func(sp *speedup, suffix string) { sp.Variant = "shared=" + suffix }},
+}
+
+// pair computes one speedup per non-baseline cell of the family present in
+// the benchmark list; cells without a baseline (or with zero ns/op) are
+// left unpaired for the -min-speedup completeness check to flag.
+func (f family) pair(benchmarks []benchLine) []speedup {
+	base := map[string]float64{} // family cell -> ns/op of its baseline
+	for _, bl := range benchmarks {
+		if m := f.re.FindStringSubmatch(bl.Name); m != nil && m[2] == f.baseline {
 			base[m[1]] = bl.Metrics["ns/op"]
 		}
 	}
-	for _, bl := range rep.Benchmarks {
-		m := workersRe.FindStringSubmatch(bl.Name)
-		if m == nil || m[2] == "1" {
+	var out []speedup
+	for _, bl := range benchmarks {
+		m := f.re.FindStringSubmatch(bl.Name)
+		if m == nil || m[2] == f.baseline {
 			continue
 		}
 		b, ok := base[m[1]]
 		if !ok || b == 0 || bl.Metrics["ns/op"] == 0 {
 			continue
 		}
-		w, _ := strconv.Atoi(m[2])
-		rep.Speedups = append(rep.Speedups, speedup{
-			Cell:    m[1],
-			Workers: w,
-			Speedup: b / bl.Metrics["ns/op"],
-		})
+		sp := speedup{Cell: m[1], Speedup: b / bl.Metrics["ns/op"]}
+		f.annotate(&sp, m[2])
+		out = append(out, sp)
 	}
-	return rep, nil
+	return out
 }
 
 // stripProcSuffix drops the trailing -GOMAXPROCS that `go test` appends to

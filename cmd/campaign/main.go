@@ -15,9 +15,13 @@
 //
 // The canonical JSON report (-json) excludes wall-clock measurements, so
 // two runs with the same flags and -seed produce byte-identical files;
-// -timing adds the volatile timing section. Strategy synthesis defaults
-// to deterministic propagation; raising -prop-workers above 1 trades
-// byte-reproducibility of inconclusive-reason texts for solve speed.
+// -timing adds the volatile timing section (wall-clock plus the planner's
+// shared-core skeleton counters). Strategy synthesis defaults to
+// deterministic propagation; raising -prop-workers above 1 trades
+// byte-reproducibility of inconclusive-reason texts for solve speed. Edge
+// goals are planned as ghost overlays on one shared explored core
+// (-shared-core, on by default); -shared-core=false re-explores a clone
+// per edge, producing the identical report more slowly.
 package main
 
 import (
@@ -50,6 +54,7 @@ func main() {
 		connect     = flag.String("connect", "", "also test a remote IUT served at this address (adapter protocol)")
 		solvWorkers = flag.Int("solver-workers", 1, "strategy-synthesis exploration workers (0 = all cores)")
 		propWorkers = flag.Int("prop-workers", 1, "propagation workers; > 1 is faster but makes reason texts schedule-dependent")
+		sharedCore  = flag.Bool("shared-core", true, "solve edge goals as ghost overlays on one shared explored core (false: re-explore a clone per edge; reports are identical either way)")
 	)
 	flag.Parse()
 
@@ -63,14 +68,15 @@ func main() {
 	}
 
 	rep, err := campaign.Run(sys, env, campaign.Options{
-		Coverage:   cov,
-		Plant:      plant,
-		Mutants:    *mutants,
-		Workers:    *workers,
-		Repeats:    *repeats,
-		Seed:       *seed,
-		Solver:     game.Options{Workers: *solvWorkers, PropagationWorkers: *propWorkers},
-		RemoteAddr: *connect,
+		Coverage:          cov,
+		Plant:             plant,
+		Mutants:           *mutants,
+		Workers:           *workers,
+		Repeats:           *repeats,
+		Seed:              *seed,
+		Solver:            game.Options{Workers: *solvWorkers, PropagationWorkers: *propWorkers},
+		RemoteAddr:        *connect,
+		DisableSharedCore: !*sharedCore,
 	})
 	if err != nil {
 		fatal(err)

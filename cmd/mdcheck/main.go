@@ -1,0 +1,148 @@
+// Command mdcheck is an offline markdown link checker: it verifies that
+// every relative link and image target in the given markdown files points
+// at an existing file, and that fragment links (`#section`, `file.md#section`)
+// resolve to a heading in the target document (GitHub anchor slugs).
+// External links (http, https, mailto) are deliberately not fetched — the
+// check runs in CI and must not depend on the network — and fenced code
+// blocks are ignored, so DSL or shell examples containing bracket syntax
+// cannot produce false positives.
+//
+// Usage:
+//
+//	mdcheck README.md DESIGN.md docs/DSL.md ROADMAP.md
+//
+// Exits 1 listing every broken link; 0 when all targets resolve.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline links and images: [text](target) / ![alt](target).
+// Targets with spaces or nested parens are out of scope (none are used in
+// this repository; the checker errs toward simplicity).
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// headingRe matches ATX headings (the only style used here).
+var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*)$`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdcheck FILE.md ...")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdcheck: %v\n", err)
+			broken++
+			continue
+		}
+		for _, l := range links(string(data)) {
+			if err := check(path, l); err != nil {
+				fmt.Fprintf(os.Stderr, "mdcheck: %s: %v\n", path, err)
+				broken++
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// proseLines yields the lines outside fenced code blocks — both link
+// extraction and anchor resolution must ignore fences, or a shell comment
+// like "# run the bench" inside an example would satisfy a stale anchor.
+func proseLines(src string) []string {
+	var out []string
+	fenced := false
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if !fenced {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// links extracts link targets outside fenced code blocks.
+func links(src string) []string {
+	var out []string
+	for _, line := range proseLines(src) {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			out = append(out, m[1])
+		}
+	}
+	return out
+}
+
+// check resolves one link target relative to the markdown file from.
+func check(from, target string) error {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return nil // external; not fetched by design
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	if file == "" {
+		// Same-document fragment.
+		return checkAnchor(from, frag)
+	}
+	resolved := filepath.Join(filepath.Dir(from), file)
+	info, err := os.Stat(resolved)
+	if err != nil {
+		return fmt.Errorf("link %q: target %s does not exist", target, resolved)
+	}
+	if frag != "" {
+		if info.IsDir() || !strings.HasSuffix(resolved, ".md") {
+			return fmt.Errorf("link %q: fragment on a non-markdown target", target)
+		}
+		return checkAnchor(resolved, frag)
+	}
+	return nil
+}
+
+// checkAnchor verifies a GitHub-style heading anchor exists in the file.
+func checkAnchor(path, frag string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("anchor #%s: %v", frag, err)
+	}
+	for _, line := range proseLines(string(data)) {
+		if m := headingRe.FindStringSubmatch(line); m != nil {
+			if slug(m[1]) == frag {
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("anchor #%s: no matching heading in %s", frag, path)
+}
+
+// slug reproduces GitHub's heading-to-anchor rule: lowercase, spaces to
+// hyphens, everything but letters, digits, hyphens and underscores dropped.
+func slug(heading string) string {
+	heading = strings.TrimSpace(heading)
+	// Inline code and emphasis markers do not contribute to the anchor.
+	heading = strings.NewReplacer("`", "", "*", "", "_", "_").Replace(heading)
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' ||
+			('a' <= r && r <= 'z') || ('0' <= r && r <= '9') || r > 127:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

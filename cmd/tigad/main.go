@@ -2,10 +2,14 @@
 // serves the line-JSON control API (synthesize / run / campaign / stats)
 // and hosts many concurrent online test sessions. Strategy synthesis runs
 // behind a content-addressed singleflight cache, so N clients requesting
-// the same goal cost one game solve; the session semaphore answers
-// overload with an explicit busy event; SIGTERM/SIGINT drain gracefully
-// (in-flight requests finish, then every session closes) and the final
-// service stats are printed as JSON.
+// the same goal cost one game solve; campaign requests route their
+// per-goal solves through the same cache on the model's shared batch, so
+// concurrent campaigns pay each goal once and explore the un-instrumented
+// core once (the stats endpoint reports skeleton_core_hits/_misses next to
+// the cache counters); the session semaphore answers overload with an
+// explicit busy event; SIGTERM/SIGINT drain gracefully (in-flight requests
+// finish, then every session closes) and the final service stats are
+// printed as JSON.
 //
 // Usage:
 //

@@ -11,6 +11,12 @@
 // online test sessions on a control connection (the daemon drives the
 // protocol through ClientOn, the remote implementation answers through
 // Apply).
+//
+// Concurrency contract: Serve owns one IUT and keeps the exclusive serial
+// session discipline (one connection at a time); ServeFactory builds a
+// fresh IUT per connection and accepts any number of concurrent sessions —
+// what the campaign matrix and the service layer dial. A Client (or
+// ClientOn endpoint) is single-caller: one driver per connection.
 package adapter
 
 import (

@@ -17,6 +17,20 @@
 //  3. Score — aggregate a Report: per-goal coverage, the verdict matrix,
 //     per-operator mutation scores, and solver statistics, serialized as
 //     canonical (byte-reproducible) JSON.
+//
+// Edge goals are planned shared-core by default: instead of exploring a
+// ghost-instrumented clone per edge, the shared batch splits its explored
+// core skeleton into per-edge ghost overlays (game.Batch.SolveEdgeGhost),
+// byte-identical reports at a fraction of the exploration work; SolveVia
+// content-addresses every per-goal solve so external caches (the service
+// layer) can deduplicate across concurrent campaigns.
+//
+// Concurrency contract: Plan is single-threaded (its batch is not safe
+// for concurrent use — concurrent campaigns sharing one batch must
+// serialize solves inside SolveVia); Execute fans (strategy × IUT) cells
+// out on Options.Workers goroutines over immutable strategies and
+// per-cell fresh IUT instances, with per-repeat seeds derived from the
+// campaign seed so results are schedule-independent.
 package campaign
 
 import (
@@ -66,6 +80,28 @@ type Options struct {
 	// the retry only ever recovers coverage the eager conformant
 	// implementation raced past.
 	DisableLazyRetry bool
+	// DisableSharedCore solves every edge goal on its own freshly explored
+	// ghost-instrumented clone (the per-clone baseline) instead of splitting
+	// the shared batch's core skeleton into per-edge ghost overlays
+	// (game.Batch.SolveEdgeGhost). The plan and report are identical either
+	// way — only planning time and the volatile PlanStats change — so the
+	// switch exists for the E7 ablation and as an escape hatch.
+	DisableSharedCore bool
+	// Batch optionally supplies a pre-built solver batch for the
+	// specification, letting long-lived callers (the service layer) share
+	// one explored skeleton across many campaigns. The batch must have been
+	// built from the same System value with equivalent solver options.
+	// game.Batch is not safe for concurrent use: when campaigns run
+	// concurrently against one batch, SolveVia must serialize the solves it
+	// is handed (the planner touches the batch only inside them).
+	Batch *game.Batch
+	// SolveVia, when set, intercepts every per-goal synthesis solve. The
+	// planner hands it a content key and the closure that would run the
+	// solve; the hook may serve the result from a cache, deduplicate
+	// concurrent identical solves, or simply invoke the closure. Used by
+	// the service layer to route campaign planning through its
+	// content-addressed strategy cache.
+	SolveVia func(key SolveKey, solve func() (*game.Result, error)) (*game.Result, error)
 }
 
 func (o *Options) withDefaults(sys *model.System) Options {
@@ -121,9 +157,10 @@ func Run(sys *model.System, env *tctl.ParseEnv, o Options) (*Report, error) {
 
 	rep := assembleReport(sys, suite, rows, matrix, &opts)
 	rep.Volatile = &Volatile{
-		PlanMS:  planMS,
-		ExecMS:  execMS,
-		TotalMS: time.Since(t0).Milliseconds(),
+		PlanMS:   planMS,
+		ExecMS:   execMS,
+		TotalMS:  time.Since(t0).Milliseconds(),
+		Planning: &suite.Stats,
 	}
 	return rep, nil
 }

@@ -189,6 +189,130 @@ func TestCampaignLazyRecoversL5Touch(t *testing.T) {
 	}
 }
 
+// TestSharedCoreSolveMatchesPerClone pins the ghost-overlay construction
+// to the per-clone baseline at the solve level: for every edge goal of
+// smartlight and traingate, splitting the shared core skeleton
+// (game.Batch.SolveEdgeGhost) must reproduce exactly what exploring the
+// instrumented clone produces — winnability, node and transition counts
+// (node numbering mirrors the engine schedule, so ids correspond), and the
+// winning federations themselves — at both the serial and the batched
+// exploration schedule.
+func TestSharedCoreSolveMatchesPerClone(t *testing.T) {
+	for _, name := range []string{"smartlight", "traingate"} {
+		sys, _, plant, _, err := models.ByName(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plant) == 0 {
+			plant = texec.GuessPlantProcs(sys)
+		}
+		for _, workers := range []int{1, 4} {
+			shared, err := game.NewBatch(sys, game.Options{Workers: workers, PropagationWorkers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, g := range EnumerateGoals(sys, plant, CoverEdges) {
+				isys, f, err := instrumentEdge(sys, g.EdgeID, g.Purpose)
+				if err != nil {
+					t.Fatal(err)
+				}
+				clone, err := game.NewBatch(isys, game.Options{Workers: workers, PropagationWorkers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, coop := range []bool{false, true} {
+					want, err := clone.Solve(f, coop)
+					if err != nil {
+						t.Fatalf("%s %s coop=%v: per-clone solve: %v", name, g.Name, coop, err)
+					}
+					got, err := shared.SolveEdgeGhost(isys, f, g.EdgeID, coop)
+					if err != nil {
+						t.Fatalf("%s %s coop=%v: overlay solve: %v", name, g.Name, coop, err)
+					}
+					if got.Winnable != want.Winnable {
+						t.Fatalf("%s workers=%d %s coop=%v: overlay winnable=%v, per-clone %v",
+							name, workers, g.Name, coop, got.Winnable, want.Winnable)
+					}
+					if got.Stats.Nodes != want.Stats.Nodes || got.Stats.Transitions != want.Stats.Transitions {
+						t.Fatalf("%s workers=%d %s coop=%v: overlay graph %d/%d, per-clone %d/%d",
+							name, workers, g.Name, coop, got.Stats.Nodes, got.Stats.Transitions,
+							want.Stats.Nodes, want.Stats.Transitions)
+					}
+					for id, w := range want.Win {
+						if !got.Win[id].Equals(w) {
+							t.Fatalf("%s workers=%d %s coop=%v: winning set of node %d differs",
+								name, workers, g.Name, coop, id)
+						}
+					}
+					if got.Winnable && got.Strategy.Cooperative() != want.Strategy.Cooperative() {
+						t.Fatalf("%s %s: strategy mode differs", name, g.Name)
+					}
+					if got.Stats.SkeletonCoreHits+got.Stats.SkeletonCoreMisses != 1 {
+						t.Fatalf("%s %s: overlay solve must touch the core skeleton exactly once: %+v", name, g.Name, got.Stats)
+					}
+					if coop && got.Stats.SkeletonHits != 1 {
+						t.Fatalf("%s %s: cooperative solve must reuse the strict solve's overlay: %+v", name, g.Name, got.Stats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCampaignSharedCoreReportByteIdentical is the tentpole acceptance
+// check: edge-coverage campaign reports with shared-core planning must be
+// byte-identical to the per-clone baseline — same statuses, matrix and
+// lazy-recovered rows — on both shipped models, while the volatile plan
+// statistics show the core skeleton being explored once and reused for
+// every further edge goal.
+func TestCampaignSharedCoreReportByteIdentical(t *testing.T) {
+	for _, name := range []string{"smartlight", "traingate"} {
+		sys, env, plant, _, err := models.ByName(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(disable bool) ([]byte, *PlanStats) {
+			opts := Options{
+				Coverage:          CoverEdges,
+				Plant:             plant,
+				Mutants:           -1, // planning equivalence is the point; skip mutant execution
+				Workers:           4,
+				Seed:              1,
+				Solver:            game.Options{Workers: 1},
+				DisableSharedCore: disable,
+			}
+			rep, err := Run(sys, env, opts)
+			if err != nil {
+				t.Fatalf("%s shared=%v: %v", name, !disable, err)
+			}
+			var buf bytes.Buffer
+			if err := rep.WriteJSON(&buf, false); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes(), rep.Volatile.Planning
+		}
+		sharedRep, sharedStats := run(false)
+		cloneRep, cloneStats := run(true)
+		if !bytes.Equal(sharedRep, cloneRep) {
+			t.Fatalf("%s: shared-core report differs from the per-clone baseline:\n--- shared ---\n%s\n--- per-clone ---\n%s",
+				name, sharedRep, cloneRep)
+		}
+		if sharedStats.SkeletonCoreMisses != 1 {
+			t.Errorf("%s: shared-core planning must explore the core exactly once, got %+v", name, sharedStats)
+		}
+		if sharedStats.SkeletonCoreHits == 0 {
+			t.Errorf("%s: shared-core planning must reuse the core skeleton, got %+v", name, sharedStats)
+		}
+		if cloneStats.SkeletonCoreHits != 0 || cloneStats.SkeletonCoreMisses != 0 {
+			t.Errorf("%s: per-clone planning must not touch the shared core, got %+v", name, cloneStats)
+		}
+		if sharedStats.Solves != cloneStats.Solves {
+			t.Errorf("%s: both planners must run the same solves: shared %d, per-clone %d",
+				name, sharedStats.Solves, cloneStats.Solves)
+		}
+	}
+}
+
 // choiceModel builds a minimal plant with a genuine output choice and a
 // forced branch: after go? the plant must (invariant x<=2) answer a! or
 // b!, and the tester cannot force which — locations A and B are reachable

@@ -83,6 +83,52 @@ type SuiteEntry struct {
 type Suite struct {
 	Entries []*SuiteEntry
 	Goals   []*PlannedGoal
+	// Stats aggregates planning effort (solve and skeleton-reuse counters).
+	// Configuration-dependent — shared-core on/off changes it while leaving
+	// the suite itself untouched — so reports surface it only in their
+	// volatile section.
+	Stats PlanStats
+}
+
+// PlanStats aggregates the solver counters of every per-goal solve the
+// planner ran. When solves are routed through an external cache
+// (Options.SolveVia), cached results re-report the counters of the solve
+// that produced them.
+type PlanStats struct {
+	// Solves counts the per-goal game solves requested (strict and
+	// cooperative separately).
+	Solves int `json:"solves"`
+	// SkeletonCoreHits/Misses count ghost-overlay solves that reused /
+	// explored the un-instrumented core skeleton (shared-core planning; both
+	// zero when DisableSharedCore re-explores a clone per edge goal).
+	SkeletonCoreHits   int `json:"skeleton_core_hits"`
+	SkeletonCoreMisses int `json:"skeleton_core_misses"`
+	// SkeletonHits/Misses count per-purpose skeleton reuse inside the batch:
+	// for edge goals the per-edge overlay graph (shared strict/cooperative),
+	// for location goals the per-signature core graph.
+	SkeletonHits   int `json:"skeleton_hits"`
+	SkeletonMisses int `json:"skeleton_misses"`
+}
+
+func (ps *PlanStats) fold(st game.Stats) {
+	ps.Solves++
+	ps.SkeletonCoreHits += st.SkeletonCoreHits
+	ps.SkeletonCoreMisses += st.SkeletonCoreMisses
+	ps.SkeletonHits += st.SkeletonHits
+	ps.SkeletonMisses += st.SkeletonMisses
+}
+
+// SolveKey identifies one per-goal solve for external caches
+// (Options.SolveVia): the canonical purpose rendering, its extrapolation
+// signature, the watched edge of a ghost-overlay solve (-1 for location
+// purposes) and the game mode. Together with the model's structural hash —
+// which the routing layer adds, since the planner sees only one model —
+// the key is a content address: equal keys denote equal solves.
+type SolveKey struct {
+	Purpose     string
+	Signature   string
+	EdgeID      int
+	Cooperative bool
 }
 
 // Covered counts goals with StatusCovered or StatusRecovered (a conformant
@@ -152,16 +198,21 @@ func Synthesize(sys *model.System, f *tctl.Formula, opts game.Options) (*game.Re
 	return game.Solve(sys, f, coopOpts)
 }
 
+// goalSolver resolves one game (strict or cooperative) for a goal; Plan
+// builds one per goal, closing over the solve path (shared batch, ghost
+// overlay, or per-clone batch) and the SolveVia routing.
+type goalSolver func(coop bool) (*game.Result, error)
+
 // synthesizeForGoal mirrors Synthesize on a shared batch, additionally
 // requiring the strategy footprint (game.Cover, the may-reach play
 // extraction) to contain the goal: a strict strategy that wins its
 // purpose without being able to traverse the goal falls through to the
 // cooperative game, whose wider footprint may still cover it.
-func synthesizeForGoal(b *game.Batch, f *tctl.Formula, g *Goal) (*game.Result, *game.Cover, error) {
+func synthesizeForGoal(solve goalSolver, g *Goal) (*game.Result, *game.Cover, error) {
 	var fallback *game.Result
 	var fallbackCover *game.Cover
 	for _, coop := range []bool{false, true} {
-		res, err := b.Solve(f, coop)
+		res, err := solve(coop)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -194,12 +245,35 @@ func synthesizeForGoal(b *game.Batch, f *tctl.Formula, g *Goal) (*game.Result, *
 // specification-coverage testing).
 func Plan(sys *model.System, env *tctl.ParseEnv, opts *Options) (*Suite, error) {
 	goals := EnumerateGoals(sys, opts.Plant, opts.Coverage)
-	batch, err := game.NewBatch(sys, opts.Solver)
-	if err != nil {
-		return nil, err
+	batch := opts.Batch
+	if batch == nil {
+		var err error
+		if batch, err = game.NewBatch(sys, opts.Solver); err != nil {
+			return nil, err
+		}
 	}
 
 	suite := &Suite{}
+	// route sends a per-goal solve through the external cache when one is
+	// configured (the service layer), folding the result's counters into the
+	// plan statistics either way. All batch access happens inside the routed
+	// closure, so a SolveVia that serializes its solves is sufficient to
+	// share one batch between concurrent campaigns.
+	route := func(key SolveKey, solve func() (*game.Result, error)) (*game.Result, error) {
+		var (
+			res *game.Result
+			err error
+		)
+		if opts.SolveVia != nil {
+			res, err = opts.SolveVia(key, solve)
+		} else {
+			res, err = solve()
+		}
+		if err == nil && res != nil {
+			suite.Stats.fold(res.Stats)
+		}
+		return res, err
+	}
 	for _, g := range goals {
 		suite.Goals = append(suite.Goals, &PlannedGoal{Goal: g, By: -1})
 	}
@@ -234,27 +308,49 @@ func Plan(sys *model.System, env *tctl.ParseEnv, opts *Options) (*Suite, error) 
 		}
 		var res *game.Result
 		var cov *game.Cover
+		var err error
 		if pg.Kind == "edge" {
 			// Edge goals solve on a ghost-instrumented clone: the purpose
-			// holds exactly after the watched edge fires. The instrumented
-			// model gets its own two-solve (strict, cooperative) batch.
+			// holds exactly after the watched edge fires. By default the
+			// clone is never explored — the shared batch splits its core
+			// skeleton into the edge's ghost overlay (game.SolveEdgeGhost),
+			// so every edge goal of a signature reuses one exploration.
+			// DisableSharedCore restores the per-clone baseline: a fresh
+			// two-solve (strict, cooperative) batch per edge.
 			isys, f, ierr := instrumentEdge(sys, pg.EdgeID, pg.Purpose)
 			if ierr != nil {
 				misses[pg.Name] = miss{status: StatusMissed, reason: "instrumentation: " + ierr.Error()}
 				continue
 			}
-			ib, berr := game.NewBatch(isys, opts.Solver)
-			if berr != nil {
-				return nil, berr
+			key := SolveKey{Purpose: f.String(), Signature: game.ExtrapolationSignature(sys, f), EdgeID: pg.EdgeID}
+			var solve goalSolver
+			if opts.DisableSharedCore {
+				ib, berr := game.NewBatch(isys, opts.Solver)
+				if berr != nil {
+					return nil, berr
+				}
+				solve = func(coop bool) (*game.Result, error) {
+					key.Cooperative = coop
+					return route(key, func() (*game.Result, error) { return ib.Solve(f, coop) })
+				}
+			} else {
+				solve = func(coop bool) (*game.Result, error) {
+					key.Cooperative = coop
+					return route(key, func() (*game.Result, error) { return batch.SolveEdgeGhost(isys, f, pg.EdgeID, coop) })
+				}
 			}
-			res, cov, err = synthesizeForGoal(ib, f, pg.Goal)
+			res, cov, err = synthesizeForGoal(solve, pg.Goal)
 		} else {
 			f, perr := tctl.Parse(env, pg.Purpose)
 			if perr != nil {
 				misses[pg.Name] = miss{status: StatusMissed, reason: "purpose parse error: " + perr.Error()}
 				continue
 			}
-			res, cov, err = synthesizeForGoal(batch, f, pg.Goal)
+			key := SolveKey{Purpose: f.String(), Signature: game.ExtrapolationSignature(sys, f), EdgeID: -1}
+			res, cov, err = synthesizeForGoal(func(coop bool) (*game.Result, error) {
+				key.Cooperative = coop
+				return route(key, func() (*game.Result, error) { return batch.Solve(f, coop) })
+			}, pg.Goal)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("campaign: solving %s for %s: %w", pg.Purpose, pg.Name, err)

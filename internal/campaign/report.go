@@ -106,12 +106,17 @@ type MutationReport struct {
 	Score     float64         `json:"score"`
 }
 
-// Volatile holds measurements that vary run to run (wall-clock). It is
-// stripped from canonical JSON so reports stay byte-reproducible.
+// Volatile holds run- and configuration-dependent diagnostics: wall-clock
+// measurements and the planner's effort counters (solves, shared-core
+// skeleton reuse — shared-core on/off changes them while leaving the plan
+// itself untouched). It is stripped from canonical JSON so reports stay
+// byte-reproducible across runs and planner configurations.
 type Volatile struct {
 	PlanMS  int64 `json:"plan_ms"`
 	ExecMS  int64 `json:"exec_ms"`
 	TotalMS int64 `json:"total_ms"`
+	// Planning aggregates the per-goal solver counters (see PlanStats).
+	Planning *PlanStats `json:"planning,omitempty"`
 }
 
 func pct(part, whole int) float64 {
@@ -281,5 +286,9 @@ func (r *Report) Render(w io.Writer) {
 	}
 	if r.Volatile != nil {
 		fmt.Fprintf(w, "  wall-clock: plan %dms, exec %dms, total %dms\n", r.Volatile.PlanMS, r.Volatile.ExecMS, r.Volatile.TotalMS)
+		if ps := r.Volatile.Planning; ps != nil {
+			fmt.Fprintf(w, "  planning: %d solves, core skeleton %d hits / %d misses, skeleton %d hits / %d misses\n",
+				ps.Solves, ps.SkeletonCoreHits, ps.SkeletonCoreMisses, ps.SkeletonHits, ps.SkeletonMisses)
+		}
 	}
 }

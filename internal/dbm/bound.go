@@ -8,6 +8,14 @@
 // m[i][j] is an upper bound on xi - xj and x0 is the constant-zero reference
 // clock. All exported operations keep DBMs in canonical (closed) form, i.e.
 // every entry is the tightest bound implied by the whole conjunction.
+//
+// Concurrency contract: DBMs and Federations are plain mutable values with
+// no internal locking — exclusive ownership is the rule (see DESIGN.md's
+// pooling section for the Release/Recycle discipline). The sync.Pool free
+// lists behind New/Clone/Release are safe for concurrent use, so parallel
+// solver workers allocate and recycle zones freely as long as each zone
+// has one owner at a time; shared zones (interned states, skeletons) are
+// read-only by convention.
 package dbm
 
 import (

@@ -22,6 +22,11 @@
 // internal with `tau input` / `tau output`. Guards after `when` conjoin
 // clock comparisons and data predicates with &&. The `do { ... }` block
 // mixes clock resets (x := 0) and data assignments.
+//
+// The complete language reference, with the shipped example models walked
+// through line by line, is docs/DSL.md. Parse/MustParse return a File
+// (system plus named quantifier ranges); parsing is pure and the result
+// immutable, so files may be parsed and shared concurrently.
 package dsl
 
 import (

@@ -1,6 +1,12 @@
 // Package expr provides bounded integer variables, arrays and a small
 // expression language used for data guards, updates and test-purpose
 // predicates in timed-automata models (the UPPAAL-style data layer).
+//
+// Key types: Table (the declaration table mapping names to offsets in an
+// int32 environment), Expr/Assign trees built by NewVar/NewBin/Lit, and
+// Ctx binding a table to one environment for Truth/Eval/ApplyAll. Tables
+// and expression trees are immutable after construction and safe to share;
+// a Ctx wraps one mutable environment and is single-caller.
 package expr
 
 import (

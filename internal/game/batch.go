@@ -12,6 +12,7 @@
 // winning federations. The strict and cooperative games of the paper's
 // Section 3.2 reuse the same skeleton too — cooperativity changes which
 // player owns a transition, never the graph.
+
 package game
 
 import (
@@ -34,16 +35,43 @@ type skeleton struct {
 	nodes       []*node // win/goal/deltas of these nodes are never read again
 	transitions int
 	cond        *condensation
+	// layers is non-nil for ghost overlays: the ghost value (0 or 1) per
+	// node. The overlay purpose is by construction "the watched edge has
+	// fired", so per-purpose goals follow from the layer directly (the
+	// whole zone on layer 1, empty on layer 0) and solveOnSkeleton skips
+	// the per-node formula evaluation.
+	layers []int8
 }
 
 // Batch solves a sequence of reachability purposes against one system,
 // reusing one solver configuration (and one explored zone graph per
-// extrapolation signature) across them. Not safe for concurrent use.
+// extrapolation signature) across them. Edge-coverage purposes on
+// ghost-instrumented clones can additionally be solved without exploring
+// the clone at all (SolveEdgeGhost, overlay.go): the un-instrumented core
+// skeleton is split into a two-layer overlay graph, so a whole campaign's
+// edge goals pay the core exploration once per signature. Not safe for
+// concurrent use.
 type Batch struct {
 	sys    *model.System
 	opts   Options
 	graphs map[string]*skeleton
+
+	// Bounded overlay cache (FIFO eviction, overlayCacheCap entries): the
+	// strict and the cooperative game of one edge goal run back to back, so
+	// a single slot would suffice for one planner — but concurrent campaigns
+	// serialized onto one batch (the service) interleave per-goal solves, so
+	// a few slots keep each in-progress goal's overlay alive between its
+	// strict and cooperative solve. Bounded because overlays are retained
+	// graphs (~2x core); re-solving a long-finished goal is the service
+	// strategy cache's job, not this one's.
+	overlays map[overlayKey]*skeleton
+	ovOrder  []overlayKey
 }
+
+// overlayCacheCap bounds the retained overlay skeletons per batch: enough
+// for several interleaved in-progress goals, small enough that overlay
+// memory stays a constant factor of the core skeleton's.
+const overlayCacheCap = 8
 
 // NewBatch prepares batch solving of sys under the given options. The
 // Algorithm field is ignored: batch solving is inherently the Backward
@@ -81,6 +109,7 @@ func (b *Batch) newSolver(formula *tctl.Formula, coop bool) *solver {
 	opts.Algorithm = Backward
 	opts.TreatAllControllable = coop
 	s := newSolverShell(b.sys, formula, opts)
+	s.lightStats = true
 	return s
 }
 
@@ -93,19 +122,40 @@ func (b *Batch) Solve(formula *tctl.Formula, coop bool) (*Result, error) {
 		return nil, fmt.Errorf("game: batch solving supports reachability purposes only, got %s", formula.Objective)
 	}
 	s := b.newSolver(formula, coop)
-	sig := maxSignature(s.sys.MaxConstants(formula.ClockConstraints()))
-	sk, ok := b.graphs[sig]
-	if !ok {
-		s.stats.SkeletonMisses++
-		var err error
-		if sk, err = b.explore(s); err != nil {
-			return nil, err
-		}
-		b.graphs[sig] = sk
-	} else {
+	sk, _, hit, err := b.coreSkeleton(formula)
+	if err != nil {
+		return nil, err
+	}
+	if hit {
 		s.stats.SkeletonHits++
+	} else {
+		s.stats.SkeletonMisses++
 	}
 	return s.solveOnSkeleton(sk)
+}
+
+// coreSkeleton returns the explored zone graph of the batch system for the
+// formula's extrapolation signature, exploring it on first use. The
+// exploring solver runs goal-free (exploreOnly): per-purpose fixpoints
+// recompute every goal anyway, and the formula may not even be evaluable
+// against the core system (ghost-overlay purposes reference the clone's
+// extra variable) — only its clock atoms matter here.
+func (b *Batch) coreSkeleton(formula *tctl.Formula) (*skeleton, string, bool, error) {
+	sig := maxSignature(b.sys.MaxConstants(formula.ClockConstraints()))
+	if sk, ok := b.graphs[sig]; ok {
+		return sk, sig, true, nil
+	}
+	opts := b.opts
+	opts.Algorithm = Backward
+	es := newSolverShell(b.sys, formula, opts)
+	es.exploreOnly = true
+	es.lightStats = true
+	sk, err := b.explore(es)
+	if err != nil {
+		return nil, sig, false, err
+	}
+	b.graphs[sig] = sk
+	return sk, sig, false, nil
 }
 
 // explore runs the forward phase once and freezes the resulting graph as a
@@ -153,12 +203,28 @@ func (s *solver) solveOnSkeleton(sk *skeleton) (*Result, error) {
 	s.ex = sk.ex
 	s.nodes = make([]*node, len(sk.nodes))
 	s.inReeval = make([]bool, len(sk.nodes))
+	// One contiguous backing array for the per-purpose nodes: a batch
+	// consumer runs this loop once per purpose over the whole skeleton, so
+	// per-node allocations multiply across the campaign.
+	arena := make([]node, len(sk.nodes))
 	for i, o := range sk.nodes {
-		goal, err := s.nodeGoal(o.st)
-		if err != nil {
-			return nil, err
+		var goal *dbm.Federation
+		if sk.layers != nil {
+			// Ghost overlay: the goal is the layer, no formula evaluation
+			// needed. Identical content to evaluating "ghost == 1" per node.
+			if sk.layers[i] == 1 {
+				goal = dbm.FedFromDBM(o.st.Zone.Dim(), o.st.Zone.Clone())
+			} else {
+				goal = dbm.NewFederation(o.st.Zone.Dim())
+			}
+		} else {
+			var err error
+			if goal, err = s.nodeGoal(o.st); err != nil {
+				return nil, err
+			}
 		}
-		n := &node{
+		n := &arena[i]
+		*n = node{
 			id:       o.id,
 			st:       o.st,
 			zoneFed:  o.zoneFed,
@@ -191,17 +257,26 @@ func (s *solver) solveOnSkeleton(sk *skeleton) (*Result, error) {
 			sk.cond = s.lastCond // first purpose pays the Tarjan pass; later ones reuse
 		}
 	} else {
-		for changed := true; changed; {
-			changed = false
+		// Seeded worklist instead of the classical round-robin: every node
+		// is evaluated once in reverse id order (leaves of the exploration
+		// first, so information flows backward immediately), and only nodes
+		// whose successors grew are revisited. The fixpoint is the same
+		// unique least fixpoint; the worklist merely skips the re-evaluations
+		// a full pass would waste on unchanged nodes, which is most of them —
+		// batch consumers (campaign planning, the service) run dozens of
+		// these fixpoints per skeleton, so the waste was multiplied.
+		for id := len(s.nodes) - 1; id >= 0; id-- {
+			s.scheduleReeval(id)
+		}
+		for len(s.reevalQ) > 0 {
 			if err := s.checkBudget(); err != nil {
 				return nil, err
 			}
-			for id := len(s.nodes) - 1; id >= 0; id-- {
-				grew, err := s.reeval(id)
-				if err != nil {
-					return nil, err
-				}
-				changed = changed || grew
+			id := s.reevalQ[0]
+			s.reevalQ = s.reevalQ[1:]
+			s.inReeval[id] = false
+			if _, err := s.reeval(id); err != nil {
+				return nil, err
 			}
 			if s.opts.EarlyTermination && s.initialDecided() {
 				break

@@ -3,6 +3,7 @@
 // coverage goals already covered by earlier strategies (greedy suite
 // minimization) and to verify that a goal's own strategy actually
 // traverses it.
+
 package game
 
 // Cover is the footprint of a strategy's supervised plays: the locations a

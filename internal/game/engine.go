@@ -12,6 +12,7 @@
 // decompositions may differ run to run). Workers == 1 bypasses this file
 // entirely and reproduces the original serial schedule. See DESIGN.md for
 // the full protocol.
+
 package game
 
 import (
@@ -73,11 +74,18 @@ func (s *solver) lookupOrAdd(st *symbolic.State) (*node, bool, error) {
 		return nil, false, budgetNodesErr(s.opts.MaxNodes)
 	}
 	// Compute the goal federation outside the lock (formula evaluation can
-	// be expensive); double-check for a racing insert afterwards.
-	goal, err := s.nodeGoal(st)
-	if err != nil {
-		s.store.created.Add(-1)
-		return nil, false, err
+	// be expensive); double-check for a racing insert afterwards. Skeleton
+	// building (game.Batch) skips it: the per-purpose fixpoint recomputes
+	// every goal on its own nodes, so evaluating here would be wasted work —
+	// and the driving formula may not even be well-typed against this system
+	// (a ghost-overlay purpose references a variable the core lacks).
+	var goal *dbm.Federation
+	if !s.exploreOnly {
+		var err error
+		if goal, err = s.nodeGoal(st); err != nil {
+			s.store.created.Add(-1)
+			return nil, false, err
+		}
 	}
 	n := &node{
 		id:      -1,

@@ -19,6 +19,7 @@
 // winning sets semantically equal to the serial engine's; the zone
 // decompositions (and stamps) may differ run to run, which is why the
 // cross-engine tests compare federations with Equals rather than by hash.
+
 package game
 
 import (

@@ -7,6 +7,7 @@
 // before a component starts — reaches the global fixpoint in a single pass
 // over the condensation DAG. Components with disjoint dependency cones can
 // be solved concurrently; see propagate.go for the scheduler.
+
 package game
 
 // tarjanUndef marks an unvisited node in tarjanSCC.

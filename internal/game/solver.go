@@ -20,6 +20,21 @@
 // Safety objectives (`control: A[] φ`) are solved through the dual game:
 // the opponent's forced reachability of ¬φ is computed with the same
 // operator and the winning set is its complement.
+//
+// Key types: Solve runs one purpose to a Result (winning sets, Stats and,
+// when winnable, a Strategy — the state-based winning strategy a test
+// driver consults); Batch amortizes many purposes over one explored zone
+// graph per extrapolation signature, including ghost-overlay solving of
+// edge-coverage purposes (overlay.go); Options selects the engine
+// (serial, parallel exploration, SCC-parallel propagation) and budgets.
+//
+// Concurrency contract: Solve and Batch methods are single-caller (a
+// Batch is NOT safe for concurrent use — callers serialize, as the
+// service layer does under its per-model mutex); internally Options.Workers
+// and Options.PropagationWorkers fan work out across goroutines with
+// deterministic node numbering. A returned Strategy is immutable and safe
+// for any number of concurrent readers, which is what lets one synthesis
+// serve a whole fleet of test executions.
 package game
 
 import (
@@ -104,8 +119,15 @@ type Stats struct {
 
 	// Batch counters (zero outside game.Batch solving): whether this solve
 	// reused an already-explored skeleton for its extrapolation signature.
-	SkeletonHits   int
-	SkeletonMisses int
+	// For ghost-overlay solves (Batch.SolveEdgeGhost) the Skeleton counters
+	// track the per-edge overlay graph (shared between the strict and the
+	// cooperative game of one goal), while the SkeletonCore counters track
+	// the un-instrumented core skeleton the overlay was split from — the
+	// shared-core planner's headline reuse metric.
+	SkeletonHits       int
+	SkeletonMisses     int
+	SkeletonCoreHits   int
+	SkeletonCoreMisses int
 }
 
 // Result of a solve run.
@@ -188,6 +210,8 @@ type solver struct {
 	store          *nodeStore // hash-interned symbolic states, sharded by discrete hash
 	workers        int
 	propWorkers    int
+	exploreOnly    bool // skeleton building: skip per-node goal evaluation
+	lightStats     bool // batch purpose solve: skip budget-free heap sampling
 	stamp          int
 	stats          Stats
 	budgetCalls    int     // checkBudget invocations
@@ -258,10 +282,16 @@ func newSolverShell(sys *model.System, formula *tctl.Formula, opts Options) *sol
 }
 
 // finishResult stamps the final statistics and packages the Result
-// (winnability, winning sets, strategy).
+// (winnability, winning sets, strategy). The closing heap sample — a
+// stop-the-world runtime.ReadMemStats — only runs when a memory budget is
+// enforced: batch consumers finish dozens of per-purpose solves per
+// skeleton, and PeakHeapBytes stays available from checkBudget's throttled
+// samples for the diagnostic (budget-free) case.
 func (s *solver) finishResult() (*Result, error) {
 	s.stats.Duration = time.Since(s.t0)
-	s.sampleHeap()
+	if s.opts.MemBudget > 0 {
+		s.sampleHeap()
+	}
 
 	res := &Result{Formula: s.formula, Stats: s.stats, Win: map[int]*dbm.Federation{}}
 	for _, n := range s.nodes {
@@ -577,6 +607,24 @@ func (s *solver) forcedGood(n *node) *dbm.Federation {
 	if s.safety {
 		return nil
 	}
+	// Every contribution is a predecessor of some opponent target's winning
+	// set, so without an opponent edge into a non-empty winning set the
+	// result is empty — skip before building the boundary federation. The
+	// guard is exact (someWin below would be empty), and it short-circuits
+	// the two cases that dominate batch solving: cooperative games (every
+	// transition is controllable in the game, so there is no opponent) and
+	// early fixpoint stages (no winning set has grown yet).
+	anyForced := false
+	for i := range n.succs {
+		sc := &n.succs[i]
+		if !s.controllableInGame(&sc.trans) && !s.nodes[sc.target].win.IsEmpty() {
+			anyForced = true
+			break
+		}
+	}
+	if !anyForced {
+		return nil
+	}
 	dim := s.sys.NumClocks()
 	var boundary *dbm.Federation
 	if s.sys.IsUrgent(n.st.Locs) {
@@ -650,11 +698,13 @@ func (s *solver) checkBudget() error {
 	if s.opts.TimeBudget > 0 && time.Since(s.t0) > s.opts.TimeBudget {
 		return fmt.Errorf("%w: time budget %v", ErrBudget, s.opts.TimeBudget)
 	}
-	if work := s.stats.Nodes + s.stats.Reevals; work-s.lastSampleWork >= 64 || s.budgetCalls == 0 {
-		s.lastSampleWork = work
-		s.sampleHeap()
-		if s.opts.MemBudget > 0 && s.stats.PeakHeapBytes > s.opts.MemBudget {
-			return fmt.Errorf("%w: memory budget %d bytes", ErrBudget, s.opts.MemBudget)
+	if s.opts.MemBudget > 0 || !s.lightStats {
+		if work := s.stats.Nodes + s.stats.Reevals; work-s.lastSampleWork >= 64 || s.budgetCalls == 0 {
+			s.lastSampleWork = work
+			s.sampleHeap()
+			if s.opts.MemBudget > 0 && s.stats.PeakHeapBytes > s.opts.MemBudget {
+				return fmt.Errorf("%w: memory budget %d bytes", ErrBudget, s.opts.MemBudget)
+			}
 		}
 	}
 	s.budgetCalls++

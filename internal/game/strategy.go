@@ -169,6 +169,22 @@ func (st *Strategy) moveUsable(t *symbolic.Transition) bool {
 // every output it can produce lands in an earlier-stamped winning set.
 func (st *Strategy) forcedRegion(n *node, bound int) *dbm.Federation {
 	dim := st.sys.NumClocks()
+	// Mirror of the solver's forcedGood guard: forcing needs an opponent
+	// edge into a non-empty winning set (winBefore is a subset of win), so
+	// consultations at nodes without one — every node of a cooperative
+	// strategy's hope chain, most nodes elsewhere — skip the boundary
+	// construction entirely. Exact: someWin below would be empty.
+	anyForced := false
+	for i := range n.succs {
+		sc := &n.succs[i]
+		if sc.trans.Kind != model.Controllable && !st.nodes[sc.target].win.IsEmpty() {
+			anyForced = true
+			break
+		}
+	}
+	if !anyForced {
+		return dbm.NewFederation(dim)
+	}
 	var boundary *dbm.Federation
 	if st.sys.IsUrgent(n.st.Locs) {
 		boundary = n.zoneFed.Clone()

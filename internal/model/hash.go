@@ -8,6 +8,7 @@
 // solvers read; expression trees are folded through their canonical String
 // rendering (the printer is injective enough for hashing: it parenthesizes
 // subtrees and spells operators distinctly).
+
 package model
 
 import (

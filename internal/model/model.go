@@ -7,6 +7,18 @@
 // uncontrollable actions — outputs chosen by the plant. Channels carry the
 // partition; every edge synchronizing on a channel inherits its kind, and
 // internal (non-synchronizing) edges declare their kind explicitly.
+//
+// Key types: System (the closed network; built imperatively via AddClock/
+// AddChannel/AddProcess/AddEdge, checked by Validate), Process, Edge,
+// Location and ClockConstraint. Clone deep-copies for mutation (mutants,
+// ghost instrumentation) preserving global edge IDs; ExtractPlant builds a
+// closed implementation network from the plant processes; Hash (hash.go)
+// is the structural content hash the service cache keys on.
+//
+// Concurrency contract: a System is mutable only while being built; after
+// construction (and always after Validate) every consumer treats it as
+// immutable, so any number of solvers, interpreters and hashers may read
+// one System concurrently. Mutation goes through Clone.
 package model
 
 import (

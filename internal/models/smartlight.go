@@ -1,7 +1,9 @@
 // Package models contains the paper's case studies — the Smart Light
-// running example (Fig. 2 and 3) and the parameterized Leader Election
-// Protocol of the evaluation (Table 1) — plus helpers to obtain their test
-// purposes.
+// running example (Fig. 2 and 3), a Train-Gate, and the parameterized
+// Leader Election Protocol of the evaluation (Table 1) — plus helpers to
+// obtain their test purposes and ByName, the shared CLI/service resolver.
+// Every constructor builds a fresh immutable System, so callers never
+// share mutable model state.
 package models
 
 import (

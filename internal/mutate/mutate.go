@@ -4,6 +4,12 @@
 // clones the model and plants one defect of a classic timed-automata
 // mutation class: shifted timing, swapped outputs, wrong target locations,
 // dropped transitions and widened guards.
+//
+// Key entry points: All enumerates one mutant per (operator, site) pair in
+// deterministic model order; Sample draws a seeded, deduplicated subset
+// from an explicit *rand.Rand — no global random state, so campaigns are
+// reproducible under their seed. Mutants are independent deep clones of
+// the specification and may be interpreted concurrently.
 package mutate
 
 import (

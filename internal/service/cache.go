@@ -10,6 +10,7 @@
 // channel and are counted as (joined) hits. Failed solves (budget, bad
 // purpose against this model) are not cached, so transient failures do not
 // poison the key.
+
 package service
 
 import (
@@ -19,11 +20,16 @@ import (
 	"tigatest/internal/game"
 )
 
-// cacheKey is the content address of one synthesized strategy.
+// cacheKey is the content address of one synthesized strategy. Campaign
+// edge-goal solves additionally carry the watched edge's identity: their
+// purposes render as "traversed(<edge>)" labels rather than state
+// predicates, so the ghost edge id is part of the content (and guards
+// against two distinct edges ever rendering alike).
 type cacheKey struct {
 	model   uint64 // model.System.Hash()
 	sig     string // game.ExtrapolationSignature
 	purpose string // canonical tctl rendering
+	edge    int    // ghost-watched edge id; -1 for plain purposes
 	coop    bool   // strict vs cooperative game
 }
 

@@ -3,6 +3,7 @@
 // the daemon drives the adapter protocol, the client answers the wire
 // frames against the IUT and keeps reading until the result line hands
 // control back.
+
 package service
 
 import (

@@ -15,6 +15,7 @@
 // byte-reproducible encoding of internal/campaign, compacted onto the
 // line. Cache and session telemetry is observable only through the stats
 // endpoint, which is volatile by nature.
+
 package service
 
 import (
@@ -121,11 +122,16 @@ type SessionStats struct {
 	TestRuns int64 `json:"test_runs"` // individual strategy-vs-IUT executions
 }
 
-// SolverStats aggregate game.Stats over every solve the service ran.
+// SolverStats aggregate game.Stats over every solve the service ran. The
+// SkeletonCore counters track shared-core campaign planning: ghost-overlay
+// edge-goal solves that reused (hit) or explored (missed) the model's
+// un-instrumented core skeleton.
 type SolverStats struct {
 	Solves             int64 `json:"solves"`
 	SkeletonHits       int64 `json:"skeleton_hits"`
 	SkeletonMisses     int64 `json:"skeleton_misses"`
+	SkeletonCoreHits   int64 `json:"skeleton_core_hits"`
+	SkeletonCoreMisses int64 `json:"skeleton_core_misses"`
 	CondensationReuses int64 `json:"condensation_reuses"`
 }
 

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tigatest/internal/campaign"
 	"tigatest/internal/game"
 	"tigatest/internal/model"
 	"tigatest/internal/tctl"
@@ -88,6 +89,8 @@ type Service struct {
 	solves             atomic.Int64
 	skeletonHits       atomic.Int64
 	skeletonMisses     atomic.Int64
+	skeletonCoreHits   atomic.Int64
+	skeletonCoreMisses atomic.Int64
 	condensationReuses atomic.Int64
 }
 
@@ -283,7 +286,37 @@ func (s *Service) noteSolve(st game.Stats) {
 	s.solves.Add(1)
 	s.skeletonHits.Add(int64(st.SkeletonHits))
 	s.skeletonMisses.Add(int64(st.SkeletonMisses))
+	s.skeletonCoreHits.Add(int64(st.SkeletonCoreHits))
+	s.skeletonCoreMisses.Add(int64(st.SkeletonCoreMisses))
 	s.condensationReuses.Add(int64(st.CondensationReuses))
+}
+
+// solveVia is the campaign planner's SolveVia hook: it content-addresses
+// every per-goal solve into the shared strategy cache (so K concurrent
+// campaigns on one model pay each goal's solve once, and campaign goals
+// prime the cache for later synthesize/run requests of the same purposes)
+// and serializes the actual solves on the model's mutex — game.Batch is
+// single-threaded, and campaigns share the model's batch to share its
+// explored core skeleton.
+func (s *Service) solveVia(me *modelEntry) func(campaign.SolveKey, func() (*game.Result, error)) (*game.Result, error) {
+	return func(key campaign.SolveKey, solve func() (*game.Result, error)) (*game.Result, error) {
+		ck := cacheKey{
+			model:   me.hash,
+			sig:     key.Signature,
+			purpose: key.Purpose,
+			edge:    key.EdgeID,
+			coop:    key.Cooperative,
+		}
+		return s.cache.get(ck, func() (*game.Result, error) {
+			me.solveMu.Lock()
+			defer me.solveMu.Unlock()
+			res, err := solve()
+			if err == nil {
+				s.noteSolve(res.Stats)
+			}
+			return res, err
+		})
+	}
 }
 
 // synthesize resolves a purpose to a strategy through the cache. sig is
@@ -296,6 +329,7 @@ func (s *Service) synthesize(me *modelEntry, f *tctl.Formula, sig, mode string) 
 			model:   me.hash,
 			sig:     sig,
 			purpose: f.String(),
+			edge:    -1,
 			coop:    coop,
 		}
 		return s.cache.get(key, func() (*game.Result, error) {
@@ -341,6 +375,8 @@ func (s *Service) StatsSnapshot() *Stats {
 			Solves:             s.solves.Load(),
 			SkeletonHits:       s.skeletonHits.Load(),
 			SkeletonMisses:     s.skeletonMisses.Load(),
+			SkeletonCoreHits:   s.skeletonCoreHits.Load(),
+			SkeletonCoreMisses: s.skeletonCoreMisses.Load(),
 			CondensationReuses: s.condensationReuses.Load(),
 		},
 	}

@@ -141,6 +141,84 @@ func TestServiceCacheKeyGranularity(t *testing.T) {
 	}
 }
 
+// TestServiceConcurrentCampaignsShareCache is the shared-core acceptance
+// criterion at the service layer: two concurrent edge-coverage campaigns
+// on one model must show nonzero strategy-cache hits for each other's
+// goals — every per-goal solve (strict and cooperative) is requested once
+// per campaign, so each key costs one miss for whichever campaign gets
+// there first and one hit for the other — while the model's
+// un-instrumented core skeleton is explored exactly once across both.
+func TestServiceConcurrentCampaignsShareCache(t *testing.T) {
+	s := startService(t, Options{})
+	addr := s.Addr()
+
+	const K = 2
+	reports := make([][]byte, K)
+	var wg sync.WaitGroup
+	errs := make(chan error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			rep, err := c.Campaign(Request{Model: "smartlight", Coverage: "edge", Mutants: -1, Workers: 2})
+			if err != nil {
+				errs <- err
+				return
+			}
+			reports[i] = rep
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(reports[0], reports[1]) {
+		t.Fatalf("concurrent campaigns must return identical canonical reports:\n--- a ---\n%s\n--- b ---\n%s", reports[0], reports[1])
+	}
+	cs := s.cache.stats()
+	if cs.Hits == 0 {
+		t.Fatalf("concurrent campaigns must hit each other's cached goal solves: %+v", cs)
+	}
+	if cs.Hits != cs.Misses {
+		t.Fatalf("each per-goal key is requested once per campaign (1 miss + %d hits): %+v", K-1, cs)
+	}
+	if got := s.skeletonCoreMisses.Load(); got != 1 {
+		t.Fatalf("the un-instrumented core must be explored exactly once across campaigns, got %d explorations", got)
+	}
+	if s.skeletonCoreHits.Load() == 0 {
+		t.Fatal("later edge goals must reuse the shared core skeleton")
+	}
+
+	// The campaigns primed the cache: synthesizing one of their edge-goal
+	// purposes by name still misses (a plain purpose is a different key than
+	// a ghost-overlay solve), but the campaign keys themselves stay warm — a
+	// third campaign is hits only.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	before := s.cache.stats()
+	if _, err := c.Campaign(Request{Model: "smartlight", Coverage: "edge", Mutants: -1, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	after := s.cache.stats()
+	if after.Misses != before.Misses {
+		t.Fatalf("a repeat campaign must be served entirely from the cache: %+v -> %+v", before, after)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatalf("a repeat campaign must register cache hits: %+v -> %+v", before, after)
+	}
+}
+
 // TestServiceByteIdenticalResponses: repeated identical control-API
 // requests return byte-identical response lines (synthesize, run against
 // the local conformant implementation, campaign).

@@ -8,6 +8,7 @@
 // the final result line hands control back. Drain closes idle sessions
 // immediately and lets a session busy inside a request finish it — the
 // response is written, then the connection closes.
+
 package service
 
 import (
@@ -229,7 +230,11 @@ func (ss *session) run(req *Request) *Response {
 }
 
 // campaign runs a full coverage campaign on the registered model and
-// returns the canonical report, compacted onto the response line.
+// returns the canonical report, compacted onto the response line. Per-goal
+// solves route through the service strategy cache on the model's shared
+// batch (Service.solveVia): concurrent campaigns on one model pay each
+// goal's solve once — the second camper joins the first's in-flight solve
+// — and every solved goal stays warm for later synthesize/run requests.
 func (ss *session) campaign(req *Request) *Response {
 	me, ok := ss.s.modelByName(req.Model)
 	if !ok {
@@ -256,6 +261,8 @@ func (ss *session) campaign(req *Request) *Response {
 		Seed:     seed,
 		Solver:   ss.s.opts.Solver,
 		Exec:     texec.Options{Scale: ss.s.opts.Scale},
+		Batch:    me.batch,
+		SolveVia: ss.s.solveVia(me),
 	})
 	if err != nil {
 		return errResp("campaign: %v", err)

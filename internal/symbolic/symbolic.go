@@ -3,6 +3,16 @@
 // where the zone is closed under delay within the location invariant, and
 // successors follow the standard zone-automaton construction with
 // max-constant extrapolation.
+//
+// Key types: State (hash-interned via DiscreteHash/HashKey/EqualTo, and
+// liftable into a ghost overlay with WithOverlayVar), Transition (an
+// internal edge or a synchronized emitter/receiver pair) and Explorer
+// (Initial, AppendSuccessors, and the game fixpoint's PredThroughEdge).
+//
+// Concurrency contract: an Explorer is immutable after construction and
+// safe for concurrent use by any number of solver workers; interned States
+// are read-only. AppendSuccessors writes only into the caller's buffer, so
+// per-worker buffers make exploration embarrassingly parallel.
 package symbolic
 
 import (
@@ -46,6 +56,21 @@ func (s *State) DiscreteHash() uint64 {
 // collisions with EqualTo, so no string keys are ever materialized.
 func (s *State) HashKey() uint64 {
 	return (s.DiscreteHash() ^ s.Zone.Hash()) * fnvPrime64
+}
+
+// WithOverlayVar returns a copy of the state whose variable vector carries
+// one appended overlay variable with the given value. The location vector
+// and zone are shared with the receiver, not copied — overlay states are
+// read-only views, like every interned state. This is the substrate of the
+// ghost-overlay construction in package game: a state of a
+// ghost-instrumented clone is exactly a core state plus the appended 0/1
+// watch variable, so successor buffers explored on the core can be lifted
+// into the clone's state space without refiring a single edge.
+func (s *State) WithOverlayVar(v int32) *State {
+	vars := make([]int32, len(s.Vars)+1)
+	copy(vars, s.Vars)
+	vars[len(s.Vars)] = v
+	return &State{Locs: s.Locs, Vars: vars, Zone: s.Zone}
 }
 
 // EqualTo reports full symbolic-state equality (discrete part and zone).
@@ -347,11 +372,24 @@ func (ex *Explorer) PredThroughEdge(src *State, t *Transition, target *dbm.Feder
 	}
 
 	// Collect resets (later resets shadow earlier ones for the same clock,
-	// consistent with fire()).
-	resets := map[int]int{}
+	// consistent with fire()). Edge reset lists are tiny and this runs once
+	// per fixpoint re-evaluation per successor, so a scratch slice with a
+	// linear shadow scan replaces the former per-call map.
+	var resetBuf [4]model.ClockReset
+	resets := resetBuf[:0]
 	for _, e := range t.Edges {
 		for _, r := range e.Resets {
-			resets[r.Clock] = r.Value
+			shadowed := false
+			for i := range resets {
+				if resets[i].Clock == r.Clock {
+					resets[i].Value = r.Value
+					shadowed = true
+					break
+				}
+			}
+			if !shadowed {
+				resets = append(resets, r)
+			}
 		}
 	}
 
@@ -360,8 +398,8 @@ func (ex *Explorer) PredThroughEdge(src *State, t *Transition, target *dbm.Feder
 		// recover the pre-reset valuations — all on one owned scratch zone.
 		wz := w.Clone()
 		ok := true
-		for c, v := range resets {
-			if !wz.ConstrainInPlace(c, 0, dbm.LE(v)) || !wz.ConstrainInPlace(0, c, dbm.LE(-v)) {
+		for _, r := range resets {
+			if !wz.ConstrainInPlace(r.Clock, 0, dbm.LE(r.Value)) || !wz.ConstrainInPlace(0, r.Clock, dbm.LE(-r.Value)) {
 				ok = false
 				break
 			}
@@ -370,8 +408,8 @@ func (ex *Explorer) PredThroughEdge(src *State, t *Transition, target *dbm.Feder
 			wz.Release()
 			continue
 		}
-		for c := range resets {
-			wz.FreeInPlace(c)
+		for _, r := range resets {
+			wz.FreeInPlace(r.Clock)
 		}
 		if wz.IntersectInPlace(gz) {
 			out.Add(wz)

@@ -5,6 +5,12 @@
 // including UPPAAL-style bounded quantifiers such as
 //
 //	control: A<> forall (i : BufferId) (inUse[i] == 1) and IUT.idle
+//
+// Key types: Formula (Objective + Prop, rendered canonically by String —
+// the spelling strategy caches key on) with GoalFed restricting a zone to
+// the satisfying valuations and ClockConstraints feeding extrapolation;
+// Parse/MustParse build formulas against a ParseEnv of model symbols.
+// Formulas are immutable after parsing and safe for concurrent use.
 package tctl
 
 import (

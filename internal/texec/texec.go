@@ -5,6 +5,13 @@
 // against the specification through the tioco monitor. Reaching the test
 // purpose yields pass, a tioco violation yields fail; cooperative
 // strategies (and internal errors) may end inconclusive.
+//
+// Key entry points: Run drives one strategy against one tiots.IUT under
+// Options (plant processes, tick scale, per-run seed); GuessPlantProcs
+// picks the implementation-side processes by output-emission convention.
+// Run is pure apart from the IUT it drives: strategies and specifications
+// are only read, so any number of runs may share them concurrently as
+// long as every run gets its own IUT instance.
 package texec
 
 import (

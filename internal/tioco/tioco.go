@@ -14,6 +14,10 @@
 // inputs are Receive edges on controllable channels, outputs are Emit edges
 // on uncontrollable channels; the environment processes of the closed model
 // are ignored because the tester takes their place during test execution.
+//
+// Concurrency contract: a Monitor is stateful and single-caller (one per
+// test run); the specification it reads is shared and immutable, so
+// concurrent runs each build their own Monitor over one specification.
 package tioco
 
 import (

@@ -7,6 +7,17 @@
 // Time is integral ticks; Scale ticks make one model time unit, so guards
 // with integer constants have exactly representable boundaries and strict
 // bounds can be crossed by a single tick.
+//
+// Key types: IUT (the driver-facing implementation interface: Reset /
+// Offer / Advance / Seed), Interp (the specification interpreter) and
+// DetIUT with DetPolicy — the determinization layer resolving permitted
+// output nondeterminism (eager by default, window-close under LazyPolicy,
+// per-edge decisions and priorities for adversarial test fixtures).
+//
+// Concurrency contract: interpreters and DetIUTs are stateful and
+// single-caller; the model they interpret is shared read-only, so
+// concurrent test runs each construct their own instance (the campaign
+// IUTFactory / adapter.ServeFactory pattern).
 package tiots
 
 import (
