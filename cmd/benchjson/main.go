@@ -3,7 +3,10 @@
 // .../workers=N cells are compared against the workers=1 baseline of their
 // family (BenchmarkSolverParallel, BenchmarkPropagation), and
 // .../shared=on cells against their shared=off baseline
-// (BenchmarkCampaignPlan, the shared-core planning ablation). The input
+// (BenchmarkCampaignPlan, the shared-core planning ablation), and
+// .../compiled=on cells against their compiled=off baseline
+// (BenchmarkMoveAt and campaign execution, the compiled-strategy
+// consultation path). The input
 // text is the benchstat-compatible record; the JSON is the
 // machine-readable digest CI archives next to it.
 //
@@ -37,7 +40,7 @@ type benchLine struct {
 type speedup struct {
 	Cell    string  `json:"cell"`
 	Workers int     `json:"workers,omitempty"`
-	Variant string  `json:"variant,omitempty"` // "shared=on" for shared-core cells
+	Variant string  `json:"variant,omitempty"` // "shared=on" / "compiled=on" for ablation cells
 	Speedup float64 `json:"speedup"`           // ns/op(baseline) / ns/op(cell)
 }
 
@@ -50,6 +53,7 @@ type report struct {
 var benchRe = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 var workersRe = regexp.MustCompile(`^(.*)/workers=(\d+)$`)
 var sharedRe = regexp.MustCompile(`^(.*)/shared=(on|off)$`)
+var compiledRe = regexp.MustCompile(`^(.*)/compiled=(on|off)$`)
 
 func main() {
 	in := flag.String("in", "", "bench output file (default stdin)")
@@ -87,7 +91,9 @@ func main() {
 
 	for _, sp := range rep.Speedups {
 		if sp.Variant != "" {
-			fmt.Fprintf(os.Stderr, "%s: %s is %.2fx shared=off\n", sp.Cell, sp.Variant, sp.Speedup)
+			// Ablation variants are "<family>=on" paired against "<family>=off".
+			base := strings.SplitN(sp.Variant, "=", 2)[0] + "=off"
+			fmt.Fprintf(os.Stderr, "%s: %s is %.2fx %s\n", sp.Cell, sp.Variant, sp.Speedup, base)
 		} else {
 			fmt.Fprintf(os.Stderr, "%s: workers=%d is %.2fx workers=1\n", sp.Cell, sp.Workers, sp.Speedup)
 		}
@@ -154,7 +160,8 @@ func parse(r io.Reader) (*report, error) {
 	}
 
 	// Speedups: every variant family's non-baseline cells compared against
-	// its baseline cell (workers=N vs workers=1, shared=on vs shared=off).
+	// its baseline cell (workers=N vs workers=1, shared=on vs shared=off,
+	// compiled=on vs compiled=off).
 	for _, fam := range families {
 		rep.Speedups = append(rep.Speedups, fam.pair(rep.Benchmarks)...)
 	}
@@ -173,6 +180,7 @@ type family struct {
 var families = []family{
 	{workersRe, "1", func(sp *speedup, suffix string) { sp.Workers, _ = strconv.Atoi(suffix) }},
 	{sharedRe, "off", func(sp *speedup, suffix string) { sp.Variant = "shared=" + suffix }},
+	{compiledRe, "off", func(sp *speedup, suffix string) { sp.Variant = "compiled=" + suffix }},
 }
 
 // pair computes one speedup per non-baseline cell of the family present in

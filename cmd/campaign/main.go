@@ -21,7 +21,10 @@
 // byte-reproducibility of inconclusive-reason texts for solve speed. Edge
 // goals are planned as ghost overlays on one shared explored core
 // (-shared-core, on by default); -shared-core=false re-explores a clone
-// per edge, producing the identical report more slowly.
+// per edge, producing the identical report more slowly. Execution consults
+// compiled strategy decision tables (-compile, on by default);
+// -compile=false falls back to interpreted consultation, again with a
+// byte-identical report (the E8 ablation).
 package main
 
 import (
@@ -55,6 +58,7 @@ func main() {
 		solvWorkers = flag.Int("solver-workers", 1, "strategy-synthesis exploration workers (0 = all cores)")
 		propWorkers = flag.Int("prop-workers", 1, "propagation workers; > 1 is faster but makes reason texts schedule-dependent")
 		sharedCore  = flag.Bool("shared-core", true, "solve edge goals as ghost overlays on one shared explored core (false: re-explore a clone per edge; reports are identical either way)")
+		compile     = flag.Bool("compile", true, "execute through compiled strategy decision tables (false: interpreted consultation; reports are identical either way)")
 	)
 	flag.Parse()
 
@@ -77,6 +81,7 @@ func main() {
 		Solver:            game.Options{Workers: *solvWorkers, PropagationWorkers: *propWorkers},
 		RemoteAddr:        *connect,
 		DisableSharedCore: !*sharedCore,
+		DisableCompile:    !*compile,
 	})
 	if err != nil {
 		fatal(err)

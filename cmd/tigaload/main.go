@@ -5,9 +5,17 @@
 // connection by default, and reports latency percentiles, throughput and
 // the daemon's cache/session counters as JSON for the bench trajectory.
 //
-// Exit status is non-zero when any session or request failed, or when the
-// daemon's cache-hit count ends below -min-cache-hits — which is what lets
-// CI enforce "zero failed sessions and a warm cache" on a smoke run.
+// Each session also exercises the compiled-strategy path end to end: it
+// fetches the wire-encoded compiled decision tables (the "strategy" op),
+// decodes them against its own copy of the model, verifies the advertised
+// checksum, and executes one test run locally — no daemon round-trips per
+// consultation.
+//
+// Exit status is non-zero when any session or request failed, the local
+// compiled run misbehaved, or when the daemon's cache-hit /
+// compiled-hit counts end below -min-cache-hits / -min-compiled-hits —
+// which is what lets CI enforce "zero failed sessions, a warm cache and a
+// live compiled path" on a smoke run.
 //
 // Usage:
 //
@@ -25,9 +33,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tigatest/internal/game"
 	"tigatest/internal/model"
 	"tigatest/internal/models"
 	"tigatest/internal/service"
+	"tigatest/internal/texec"
 	"tigatest/internal/tiots"
 )
 
@@ -45,6 +55,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base seed; session k uses seed+k")
 		jsonOut  = flag.String("json", "", "write the load report as JSON to this file")
 		minHits  = flag.Int64("min-cache-hits", 0, "fail unless the daemon reports at least this many cache hits")
+		minComp  = flag.Int64("min-compiled-hits", 0, "fail unless the daemon reports at least this many compiled-strategy hits")
 		wait     = flag.Duration("wait", 10*time.Second, "dial retry window (daemon may still be starting, or briefly busy)")
 	)
 	flag.Parse()
@@ -60,6 +71,7 @@ func main() {
 
 	lat := make([][]time.Duration, *sessions)
 	var failedSessions, failedRequests, pass, failV, incon, dialRetries atomic.Int64
+	var localRuns, localPass, compiledBytes atomic.Int64
 	var wg sync.WaitGroup
 	t0 := time.Now()
 	for k := 0; k < *sessions; k++ {
@@ -97,6 +109,16 @@ func main() {
 				pass.Add(int64(run.Pass))
 				failV.Add(int64(run.Fail))
 				incon.Add(int64(run.Incon))
+			}
+			if ok {
+				// Compiled-path smoke: fetch the wire-encoded decision
+				// tables, decode locally, verify the checksum, play one run.
+				if err := localConsult(cli, sys, impl, plant, *purpose, *mode,
+					&localRuns, &localPass, &compiledBytes); err != nil {
+					fmt.Fprintf(os.Stderr, "tigaload: session %d strategy: %v\n", k, err)
+					failedRequests.Add(1)
+					ok = false
+				}
 			}
 			if !ok {
 				failedSessions.Add(1)
@@ -137,6 +159,9 @@ func main() {
 		FailedRequests:     failedRequests.Load(),
 		DialRetries:        dialRetries.Load(),
 		Verdicts:           verdicts{Pass: pass.Load(), Fail: failV.Load(), Incon: incon.Load()},
+		LocalRuns:          localRuns.Load(),
+		LocalPass:          localPass.Load(),
+		CompiledBytes:      compiledBytes.Load(),
 		WallMS:             wall.Milliseconds(),
 		Latency: latencies{
 			P50: percentile(all, 50), P90: percentile(all, 90),
@@ -155,6 +180,8 @@ func main() {
 	if stats != nil {
 		fmt.Printf("  cache: %d hits, %d misses (%d joined in flight); solver: %d solves, %d skeleton hits\n",
 			stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Joined, stats.Solver.Solves, stats.Solver.SkeletonHits)
+		fmt.Printf("  compiled: %d hits, %d bytes shipped; %d/%d local compiled runs passed\n",
+			stats.Cache.CompiledHits, stats.Cache.CompiledBytes, rep.LocalPass, rep.LocalRuns)
 	}
 
 	if *jsonOut != "" {
@@ -175,7 +202,40 @@ func main() {
 		fatal(fmt.Errorf("could not fetch service stats"))
 	case stats.Cache.Hits < *minHits:
 		fatal(fmt.Errorf("cache hits %d below the -min-cache-hits floor %d", stats.Cache.Hits, *minHits))
+	case stats.Cache.CompiledHits < *minComp:
+		fatal(fmt.Errorf("compiled hits %d below the -min-compiled-hits floor %d", stats.Cache.CompiledHits, *minComp))
 	}
+}
+
+// localConsult exercises the shipped compiled strategy end to end: fetch,
+// decode against our copy of the model, cross-check the advertised
+// checksum, and execute one local test run through the decoded tables. The
+// run must pass — the purpose was already won repeatedly via the daemon's
+// run op, and the compiled consultant is decision-equivalent.
+func localConsult(cli *service.Client, sys, impl *model.System, plant []int, purpose, mode string,
+	localRuns, localPass, compiledBytes *atomic.Int64) error {
+	si, err := cli.Strategy(sys.Name, purpose, mode)
+	if err != nil {
+		return err
+	}
+	if si.Bytes != len(si.Encoded) {
+		return fmt.Errorf("advertised %d bytes, got %d", si.Bytes, len(si.Encoded))
+	}
+	cs, err := game.Decode(sys, si.Encoded)
+	if err != nil {
+		return fmt.Errorf("decode: %v", err)
+	}
+	if sum := fmt.Sprintf("%016x", cs.Checksum()); sum != si.Checksum {
+		return fmt.Errorf("checksum mismatch: advertised %s, decoded %s", si.Checksum, sum)
+	}
+	compiledBytes.Add(int64(len(si.Encoded)))
+	res := texec.Run(cs, tiots.NewDetIUT(impl, tiots.Scale, nil), texec.Options{PlantProcs: plant})
+	localRuns.Add(1)
+	if res.Verdict != texec.Pass {
+		return fmt.Errorf("local compiled run: %s (%s)", res.Verdict, res.Reason)
+	}
+	localPass.Add(1)
+	return nil
 }
 
 type verdicts struct {
@@ -204,6 +264,9 @@ type report struct {
 	FailedRequests     int64          `json:"failed_requests"`
 	DialRetries        int64          `json:"dial_retries"`
 	Verdicts           verdicts       `json:"verdicts"`
+	LocalRuns          int64          `json:"local_compiled_runs"`
+	LocalPass          int64          `json:"local_compiled_pass"`
+	CompiledBytes      int64          `json:"local_compiled_bytes"`
 	Latency            latencies      `json:"latency_ms"`
 	ThroughputRPS      float64        `json:"throughput_rps"`
 	WallMS             int64          `json:"wall_ms"`

@@ -102,6 +102,26 @@ type Options struct {
 	// the service layer to route campaign planning through its
 	// content-addressed strategy cache.
 	SolveVia func(key SolveKey, solve func() (*game.Result, error)) (*game.Result, error)
+	// DisableCompile executes every run through the interpreted
+	// Strategy.MoveAt instead of the compiled decision tables (ablation
+	// E8). Compilation is decision-equivalent, so the report is
+	// byte-identical either way — only planning and execution time change.
+	DisableCompile bool
+}
+
+// consultantFor returns the execution-facing view of a solved strategy:
+// the compiled decision tables by default (compiled once per Result and
+// shared), the interpreted strategy under the DisableCompile ablation.
+// Compilation failure is impossible for the reachability strategies the
+// planner synthesizes; any error falls back to the interpreted oracle.
+func (o *Options) consultantFor(res *game.Result) game.Consultant {
+	if o.DisableCompile {
+		return res.Strategy
+	}
+	if cs, err := res.CompiledStrategy(); err == nil {
+		return cs
+	}
+	return res.Strategy
 }
 
 func (o *Options) withDefaults(sys *model.System) Options {

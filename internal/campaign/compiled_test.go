@@ -1,0 +1,52 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+
+	"tigatest/internal/game"
+	"tigatest/internal/models"
+)
+
+// TestCampaignCompiledReportByteIdentical is the E8 acceptance check:
+// campaigns executed through the compiled decision tables must produce
+// reports byte-identical to the interpreted baseline — same coverage,
+// verdict matrix, mutation scores and lazy-recovered rows — on both
+// shipped models, with mutant execution and repeats in play so the
+// equivalence covers fail/inconclusive cells, not just passing runs.
+func TestCampaignCompiledReportByteIdentical(t *testing.T) {
+	for _, name := range []string{"smartlight", "traingate"} {
+		sys, env, plant, _, err := models.ByName(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(disable bool) []byte {
+			opts := Options{
+				Coverage: CoverEdges,
+				Plant:    plant,
+				Mutants:  2,
+				Repeats:  2,
+				Workers:  4,
+				Seed:     1,
+				Solver:   game.Options{Workers: 1},
+
+				DisableCompile: disable,
+			}
+			rep, err := Run(sys, env, opts)
+			if err != nil {
+				t.Fatalf("%s compiled=%v: %v", name, !disable, err)
+			}
+			var buf bytes.Buffer
+			if err := rep.WriteJSON(&buf, false); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}
+		compiled := run(false)
+		interpreted := run(true)
+		if !bytes.Equal(compiled, interpreted) {
+			t.Fatalf("%s: compiled report differs from the interpreted baseline:\n--- compiled ---\n%s\n--- interpreted ---\n%s",
+				name, compiled, interpreted)
+		}
+	}
+}

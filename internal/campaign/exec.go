@@ -94,7 +94,10 @@ func Execute(suite *Suite, rows []*IUTRow, opts *Options) [][]CellTally {
 				}
 				t := tasks[i]
 				entry := suite.Entries[t.entry]
-				runner := &Runner{Strategy: entry.Strategy, Exec: opts.Exec}
+				// One consultant per entry, shared by every IUT row and every
+				// repeat touching this strategy: the compiled tables are built
+				// once at plan time, never per cell.
+				runner := &Runner{Strategy: entry.consultant(), Exec: opts.Exec}
 				// The cell seed mixes the campaign seed with the cell
 				// coordinates so every cell draws an independent stream
 				// regardless of scheduling.

@@ -76,6 +76,20 @@ type SuiteEntry struct {
 	// Nodes/Transitions are the solver's explored graph size (identical
 	// for every worker count, so safe for canonical reports).
 	Nodes, Transitions int
+	// consult is the execution-facing consultant, shared by the planning
+	// run and every (row x repeat) cell of the matrix: the compiled
+	// decision tables unless the DisableCompile ablation keeps the
+	// interpreted strategy.
+	consult game.Consultant
+}
+
+// consultant returns the entry's shared execution consultant, falling back
+// to the interpreted strategy for entries constructed outside Plan.
+func (e *SuiteEntry) consultant() game.Consultant {
+	if e.consult != nil {
+		return e.consult
+	}
+	return e.Strategy
 }
 
 // Suite is the planned campaign: the strategy set plus the per-goal
@@ -369,7 +383,8 @@ func Plan(sys *model.System, env *tctl.ParseEnv, opts *Options) (*Suite, error) 
 		// implementation's determinization never grants die here; a
 		// strict strategy missing its own goal is a defect and is
 		// reported as such.
-		runner := &Runner{Strategy: res.Strategy, Exec: opts.Exec}
+		consult := opts.consultantFor(res)
+		runner := &Runner{Strategy: consult, Exec: opts.Exec}
 		r := runner.RunOnce(tiots.NewDetIUT(impl, scale, nil))
 		if r.Verdict != texec.Pass {
 			reason := "conformant run: " + r.Verdict.String() + " (" + r.Reason + ")"
@@ -390,6 +405,7 @@ func Plan(sys *model.System, env *tctl.ParseEnv, opts *Options) (*Suite, error) 
 			ConformantTrace: r.Trace.Format(res.Strategy.System(), scale),
 			Nodes:           res.Stats.Nodes,
 			Transitions:     res.Stats.Transitions,
+			consult:         consult,
 		}
 		suite.Entries = append(suite.Entries, entry)
 		covers = append(covers, ec)

@@ -49,9 +49,12 @@ func RemoteIUT(addr string) IUTFactory {
 // Runner executes one strategy against implementations: the campaign cell
 // runner, shared with cmd/testexec's single-run path. A Runner is
 // immutable and safe for concurrent use (strategy consultation only reads
-// the solved game graph).
+// the solved game graph or its compiled decision tables).
 type Runner struct {
-	Strategy *game.Strategy
+	// Strategy is the consultant runs follow: the interpreted
+	// *game.Strategy, or its compiled form (*game.CompiledStrategy) for
+	// O(1)-consultation execution.
+	Strategy game.Consultant
 	Exec     texec.Options
 }
 

@@ -67,6 +67,20 @@ func Point(dim int, vals []int) *DBM {
 	return d
 }
 
+// FromBounds returns a DBM with the given row-major bound matrix copied
+// verbatim. The matrix must already be closed (canonical) — no re-closure
+// or emptiness check is run — which is the contract for reviving zones
+// from a serialized strategy, where every matrix was canonical when
+// written and integrity is guarded by the stream checksum.
+func FromBounds(dim int, m []Bound) *DBM {
+	if len(m) != dim*dim {
+		panic("dbm: FromBounds needs a dim*dim matrix")
+	}
+	d := alloc(dim)
+	copy(d.m, m)
+	return d
+}
+
 // Dim returns the dimension (number of clocks including the reference).
 func (d *DBM) Dim() int { return d.dim }
 

@@ -104,6 +104,21 @@ func (f *Federation) Add(d *DBM) {
 	f.zs = append(f.zs, d)
 }
 
+// AppendZone appends d without inclusion reduction, preserving the zone
+// list verbatim. Serialized strategies make the decomposition (and its
+// zone order) part of the contract — wait-tick tie-breaks scan zones in
+// order — so revival must not let reduction reorder or drop zones the
+// original construction kept. f takes ownership of d.
+func (f *Federation) AppendZone(d *DBM) {
+	if d == nil {
+		return
+	}
+	if d.dim != f.dim {
+		panic("dbm: federation dimension mismatch")
+	}
+	f.zs = append(f.zs, d)
+}
+
 // Union adds all zones of o into f.
 func (f *Federation) Union(o *Federation) {
 	if o == nil {

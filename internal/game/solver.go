@@ -41,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"tigatest/internal/dbm"
@@ -141,6 +142,13 @@ type Result struct {
 	Stats Stats
 
 	debugNodes []*node
+
+	// Compiled-consultation cache: CompiledStrategy() compiles the strategy
+	// at most once per Result, so cached results shared across sessions,
+	// campaigns and matrix cells share one compiled artifact.
+	compileOnce sync.Once
+	compiled    *CompiledStrategy
+	compileErr  error
 }
 
 // node is one symbolic state of the game graph.

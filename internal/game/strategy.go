@@ -154,7 +154,11 @@ func (st *Strategy) actionRegion(n *node, sc *succRef, bound int) *dbm.Federatio
 	if w.IsEmpty() {
 		return w
 	}
-	return st.ex.PredThroughEdge(n.st, &sc.trans, w)
+	p := st.ex.PredThroughEdge(n.st, &sc.trans, w)
+	// The winBefore wrapper shares its zones with the target's deltas:
+	// recycle the wrapper only (Release would corrupt the strategy graph).
+	w.Recycle()
+	return p
 }
 
 // moveUsable reports whether the transition may be relied on by this
@@ -240,6 +244,26 @@ func (st *Strategy) MoveAt(id int, val []int64, scale int64, bound int) (Move, e
 		}
 	}
 
+	// Per-successor action regions, computed once and shared between the
+	// immediate-action passes and the wait-scan: every region the passes
+	// reject is scanned again below, and PredThroughEdge is the expensive
+	// part of a consultation. Regions are owned here and never retained by
+	// the returned Move, so they are released on every exit path.
+	regions := make([]*dbm.Federation, len(n.succs))
+	defer func() {
+		for _, r := range regions {
+			if r != nil {
+				r.Release()
+			}
+		}
+	}()
+	regionFor := func(i int) *dbm.Federation {
+		if regions[i] == nil {
+			regions[i] = st.actionRegion(n, &n.succs[i], bound)
+		}
+		return regions[i]
+	}
+
 	// Immediate action? Controllable moves take precedence over
 	// cooperative hopes: an input the tester offers itself cannot be
 	// denied, while a hoped-for output may never come — preferring hopes
@@ -255,7 +279,7 @@ func (st *Strategy) MoveAt(id int, val []int64, scale int64, bound int) (Move, e
 			if (pass == 0) != ctrl {
 				continue
 			}
-			region := st.actionRegion(n, sc, bound)
+			region := regionFor(i)
 			if region.ContainsPoint(val, scale) {
 				if ctrl {
 					return Move{Kind: MoveAction, Trans: &sc.trans, Target: sc.target}, nil
@@ -270,6 +294,7 @@ func (st *Strategy) MoveAt(id int, val []int64, scale int64, bound int) (Move, e
 
 	// Time-blocked forcing: the plant must output, and every output wins.
 	forced := st.forcedRegion(n, bound)
+	defer forced.Release()
 	if forced.ContainsPoint(val, scale) {
 		return Move{Kind: MoveWait, WaitTicks: 1}, nil
 	}
@@ -306,12 +331,11 @@ func (st *Strategy) MoveAt(id int, val []int64, scale int64, bound int) (Move, e
 		if !st.moveUsable(&sc.trans) {
 			continue
 		}
-		region := st.actionRegion(n, sc, bound)
 		var h *symbolic.Transition
 		if sc.trans.Kind != model.Controllable {
 			h = &sc.trans
 		}
-		consider(region, h)
+		consider(regionFor(i), h)
 	}
 	if best < 0 {
 		return Move{Kind: MoveNone}, fmt.Errorf("game: no progress possible from node %d at %v (bound %d)", id, val, bound)
@@ -366,6 +390,12 @@ func (st *Strategy) FollowTransition(id int, chanIdx int, val []int64, scale int
 
 // guardHolds checks the clock guards of all edges of t at the valuation.
 func (st *Strategy) guardHolds(t *symbolic.Transition, val []int64, scale int64) bool {
+	return transGuardHolds(t, val, scale)
+}
+
+// transGuardHolds checks the clock guards of all edges of t at the scaled
+// valuation (shared by the interpreted and the compiled consultation path).
+func transGuardHolds(t *symbolic.Transition, val []int64, scale int64) bool {
 	for _, e := range t.Edges {
 		for _, c := range e.Guard.Clocks {
 			vi, vj := int64(0), int64(0)

@@ -50,6 +50,15 @@ type strategyCache struct {
 	misses   atomic.Int64 // solves started
 	joined   atomic.Int64 // hits that waited on an in-flight solve
 	inflight atomic.Int64 // solves currently running
+
+	// Compiled-strategy telemetry. Cached results carry their compiled
+	// decision tables (built once per Result, shared by every consumer), so
+	// these count consumption, not storage: compiledHits is the number of
+	// requests served through a compiled strategy (run executions and
+	// strategy-encoding fetches), compiledBytes the total canonical wire
+	// bytes shipped to clients by the strategy op.
+	compiledHits  atomic.Int64
+	compiledBytes atomic.Int64
 }
 
 func newStrategyCache() *strategyCache {
@@ -104,5 +113,8 @@ func (c *strategyCache) stats() CacheStats {
 		Misses:   c.misses.Load(),
 		Joined:   c.joined.Load(),
 		Inflight: c.inflight.Load(),
+
+		CompiledHits:  c.compiledHits.Load(),
+		CompiledBytes: c.compiledBytes.Load(),
 	}
 }

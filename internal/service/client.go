@@ -128,6 +128,17 @@ func (c *Client) Synthesize(model, purpose, mode string) (*SynthInfo, error) {
 	return resp.Synth, nil
 }
 
+// Strategy fetches the compiled form of a synthesized strategy: the wire
+// encoding in StrategyInfo.Encoded decodes with game.Decode against the
+// client's own copy of the model for local O(1) consultation.
+func (c *Client) Strategy(model, purpose, mode string) (*StrategyInfo, error) {
+	resp, err := c.do(&Request{Op: "strategy", Model: model, Purpose: purpose, Mode: mode}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Strategy, nil
+}
+
 // Run executes a run request. A nil iut runs against the daemon's local
 // conformant implementation; a non-nil iut is hosted inline on this
 // session.

@@ -24,7 +24,8 @@ import (
 
 // Request is one control-API call.
 type Request struct {
-	// Op selects the endpoint: "synthesize", "run", "campaign" or "stats".
+	// Op selects the endpoint: "synthesize", "strategy", "run",
+	// "campaign" or "stats".
 	Op string `json:"op"`
 	// Model names a registered model.
 	Model string `json:"model,omitempty"`
@@ -59,8 +60,9 @@ type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
 
-	Synth *SynthInfo `json:"synth,omitempty"`
-	Run   *RunInfo   `json:"run,omitempty"`
+	Synth    *SynthInfo    `json:"synth,omitempty"`
+	Run      *RunInfo      `json:"run,omitempty"`
+	Strategy *StrategyInfo `json:"strategy,omitempty"`
 	// Report is the campaign's canonical byte-reproducible JSON report,
 	// compacted onto the response line.
 	Report json.RawMessage `json:"report,omitempty"`
@@ -81,6 +83,20 @@ type SynthInfo struct {
 	Cooperative bool   `json:"cooperative"`
 	Nodes       int    `json:"nodes"`
 	Transitions int    `json:"transitions"`
+}
+
+// StrategyInfo ships a compiled strategy: the synthesis outcome plus the
+// canonical versioned wire encoding of the compiled decision tables
+// (docs/WIRE.md), which clients decode against their own copy of the model
+// and consult locally — O(1) lookups with no further daemon round-trips.
+// The encoding is deterministic, so identical requests ship identical
+// bytes; Checksum is the encoding's trailing FNV-1a self-checksum.
+type StrategyInfo struct {
+	Synth SynthInfo `json:"synth"`
+	// Bytes is len(Encoded) before JSON base64 framing.
+	Bytes    int    `json:"bytes"`
+	Checksum string `json:"checksum"`
+	Encoded  []byte `json:"encoded"`
 }
 
 // ReasonCount mirrors campaign.ReasonCount for run tallies.
@@ -104,12 +120,18 @@ type RunInfo struct {
 // served without starting a solve, Joined the subset that waited on an
 // in-flight solve (singleflight), Misses the solves started; for K
 // concurrent identical requests Misses grows by 1 and Hits by K-1.
+// CompiledHits counts requests served through a compiled strategy (run
+// executions and strategy fetches); CompiledBytes the total encoded
+// compiled bytes shipped by strategy requests.
 type CacheStats struct {
 	Entries  int   `json:"entries"`
 	Hits     int64 `json:"hits"`
 	Misses   int64 `json:"misses"`
 	Joined   int64 `json:"joined"`
 	Inflight int64 `json:"inflight"`
+
+	CompiledHits  int64 `json:"compiled_hits"`
+	CompiledBytes int64 `json:"compiled_bytes"`
 }
 
 // SessionStats are the session-layer counters.

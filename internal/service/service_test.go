@@ -9,8 +9,10 @@ import (
 	"testing"
 	"time"
 
+	"tigatest/internal/game"
 	"tigatest/internal/model"
 	"tigatest/internal/models"
+	"tigatest/internal/texec"
 	"tigatest/internal/tiots"
 )
 
@@ -502,5 +504,81 @@ func TestServiceCampaignReportCanonical(t *testing.T) {
 	}
 	if len(rep.Volatile) != 0 {
 		t.Fatal("canonical report must strip the volatile section")
+	}
+}
+
+// TestServiceStrategyOpAndCounters pins the compiled wire path end to end:
+// the strategy op ships the canonical encoding, the client decodes it
+// against its own copy of the model, cross-checks the self-checksum, and
+// the revived tables drive a passing local run — with the compiled_hits
+// and compiled_bytes cache counters accounting for every consumption.
+func TestServiceStrategyOpAndCounters(t *testing.T) {
+	s := startService(t, Options{})
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	si, err := c.Strategy("smartlight", models.SmartLightGoal, "strict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.Bytes != len(si.Encoded) || si.Bytes == 0 {
+		t.Fatalf("byte count off: Bytes=%d len(Encoded)=%d", si.Bytes, len(si.Encoded))
+	}
+	if !si.Synth.Winnable || si.Synth.Cooperative {
+		t.Fatalf("synth info off: %+v", si.Synth)
+	}
+
+	// Decode against an independently built copy of the model and consult
+	// locally: the revived tables must pass against the conformant
+	// implementation without any further daemon traffic.
+	sys := models.SmartLight()
+	plant := models.SmartLightPlant(sys)
+	cs, err := game.Decode(sys, si.Encoded)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got := fmt.Sprintf("%016x", cs.Checksum()); got != si.Checksum {
+		t.Fatalf("checksum mismatch: computed %s, shipped %s", got, si.Checksum)
+	}
+	impl := model.ExtractPlant(sys, plant, "Stub")
+	res := texec.Run(cs, tiots.NewDetIUT(impl, tiots.Scale, nil), texec.Options{PlantProcs: plant})
+	if res.Verdict != texec.Pass {
+		t.Fatalf("local run through shipped strategy must pass: %s", res)
+	}
+
+	// A second fetch is a cache hit on the same compiled Result and must
+	// ship identical bytes.
+	again, err := c.Strategy("smartlight", models.SmartLightGoal, "strict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(si.Encoded, again.Encoded) {
+		t.Fatal("repeated strategy fetches must ship identical bytes")
+	}
+
+	// A local run op consults through the compiled tables too.
+	if _, err := c.Run(Request{Model: "smartlight", Purpose: models.SmartLightGoal}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.CompiledHits != 3 {
+		t.Fatalf("compiled_hits must count 2 strategy fetches + 1 run, got %+v", st.Cache)
+	}
+	if st.Cache.CompiledBytes != int64(2*si.Bytes) {
+		t.Fatalf("compiled_bytes must count the shipped encodings only, got %+v", st.Cache)
+	}
+
+	if _, err := c.Strategy("nosuch", models.SmartLightGoal, ""); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	if _, err := c.Strategy("smartlight", "control: A<> IUT.Bright and z < 1", "strict"); err == nil {
+		t.Fatal("unwinnable purpose must error")
 	}
 }

@@ -124,12 +124,14 @@ func (ss *session) handle(req *Request) *Response {
 			return resp
 		}
 		return &Response{Event: "result", OK: true, Synth: info}
+	case "strategy":
+		return ss.strategy(req)
 	case "run":
 		return ss.run(req)
 	case "campaign":
 		return ss.campaign(req)
 	default:
-		return errResp("unknown op %q (use synthesize, run, campaign or stats)", req.Op)
+		return errResp("unknown op %q (use synthesize, strategy, run, campaign or stats)", req.Op)
 	}
 }
 
@@ -170,6 +172,34 @@ func (ss *session) resolve(req *Request) (*modelEntry, *game.Result, *SynthInfo,
 	return me, res, info, nil
 }
 
+// strategy synthesizes (through the cache), compiles, and ships the
+// compiled decision tables in their canonical wire encoding, so the client
+// can decode them against its own copy of the model and consult locally.
+// Compilation happens once per cached Result and is shared with every run
+// request on the same purpose.
+func (ss *session) strategy(req *Request) *Response {
+	_, res, info, resp := ss.resolve(req)
+	if resp != nil {
+		return resp
+	}
+	if !res.Winnable {
+		return errResp("purpose %s is not winnable under mode %s", info.Purpose, info.Mode)
+	}
+	cs, err := res.CompiledStrategy()
+	if err != nil {
+		return errResp("compile: %v", err)
+	}
+	data := cs.Encode()
+	ss.s.cache.compiledHits.Add(1)
+	ss.s.cache.compiledBytes.Add(int64(len(data)))
+	return &Response{Event: "result", OK: true, Strategy: &StrategyInfo{
+		Synth:    *info,
+		Bytes:    len(data),
+		Checksum: fmt.Sprintf("%016x", cs.Checksum()),
+		Encoded:  data,
+	}}
+}
+
 // run synthesizes (through the cache) and executes the strategy against
 // the requested implementation.
 func (ss *session) run(req *Request) *Response {
@@ -201,8 +231,16 @@ func (ss *session) run(req *Request) *Response {
 		return errResp("unknown iut %q (use local or inline)", req.IUT)
 	}
 
+	// Execute through the compiled decision tables (built once per cached
+	// Result, shared across sessions); the interpreted strategy is the
+	// fallback for the non-reachability purposes compilation rejects.
+	consult := game.Consultant(res.Strategy)
+	if cs, err := res.CompiledStrategy(); err == nil {
+		consult = cs
+		ss.s.cache.compiledHits.Add(1)
+	}
 	runner := &campaign.Runner{
-		Strategy: res.Strategy,
+		Strategy: consult,
 		Exec:     texec.Options{PlantProcs: me.plant, Scale: ss.s.opts.Scale},
 	}
 	repeats := req.Repeats

@@ -1,0 +1,66 @@
+package texec
+
+import (
+	"fmt"
+	"testing"
+
+	"tigatest/internal/game"
+	"tigatest/internal/model"
+	"tigatest/internal/models"
+	"tigatest/internal/tctl"
+	"tigatest/internal/tiots"
+)
+
+// TestCompiledExecutionMatchesInterpreted drives whole test runs through
+// the compiled consultant and pins them to the interpreted strategy:
+// against the deterministic conformant implementation — eager (fire at
+// window open) and lazy (fire at window close) determinizations alike —
+// verdict, reason, step count and the full observable trace must be
+// identical across every shipped model × game mode. This is the
+// execution-level face of the decision-equivalence contract
+// (TestCompiledMatchesInterpreted covers single consultations).
+func TestCompiledExecutionMatchesInterpreted(t *testing.T) {
+	for _, mn := range []string{"smartlight", "traingate", "lep"} {
+		sys, env, plant, goal, err := models.ByName(mn, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		impl := model.ExtractPlant(sys, plant, "Tester")
+		f := tctl.MustParse(env, goal)
+		for _, coop := range []bool{false, true} {
+			mode := "strict"
+			if coop {
+				mode = "coop"
+			}
+			res, err := game.Solve(sys, f, game.Options{TreatAllControllable: coop})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Winnable {
+				continue
+			}
+			cs, err := res.Strategy.Compile()
+			if err != nil {
+				t.Fatalf("%s/%s: compile: %v", mn, mode, err)
+			}
+			for _, pol := range []struct {
+				name   string
+				policy *tiots.DetPolicy
+			}{{"eager", nil}, {"lazy", tiots.LazyPolicy()}} {
+				t.Run(fmt.Sprintf("%s/%s/%s", mn, mode, pol.name), func(t *testing.T) {
+					opts := Options{PlantProcs: plant}
+					ri := Run(res.Strategy, tiots.NewDetIUT(impl, tiots.Scale, pol.policy), opts)
+					rc := Run(cs, tiots.NewDetIUT(impl, tiots.Scale, pol.policy), opts)
+					if ri.Verdict != rc.Verdict || ri.Reason != rc.Reason || ri.Steps != rc.Steps {
+						t.Fatalf("runs diverge:\n  interpreted: %s\n  compiled:    %s", ri, rc)
+					}
+					ti := ri.Trace.Format(sys, tiots.Scale)
+					tc := rc.Trace.Format(sys, tiots.Scale)
+					if ti != tc {
+						t.Fatalf("traces diverge:\ninterpreted:\n%s\ncompiled:\n%s", ti, tc)
+					}
+				})
+			}
+		}
+	}
+}

@@ -6,9 +6,11 @@
 // purpose yields pass, a tioco violation yields fail; cooperative
 // strategies (and internal errors) may end inconclusive.
 //
-// Key entry points: Run drives one strategy against one tiots.IUT under
-// Options (plant processes, tick scale, per-run seed); GuessPlantProcs
-// picks the implementation-side processes by output-emission convention.
+// Key entry points: Run drives one strategy consultant (the interpreted
+// game.Strategy or a compiled game.CompiledStrategy) against one tiots.IUT
+// under Options (plant processes, tick scale, per-run seed);
+// GuessPlantProcs picks the implementation-side processes by
+// output-emission convention.
 // Run is pure apart from the IUT it drives: strategies and specifications
 // are only read, so any number of runs may share them concurrently as
 // long as every run gets its own IUT instance.
@@ -68,7 +70,7 @@ func (r Result) String() string {
 
 // Run executes one strategy-guided test against the implementation,
 // following Algorithm 3.1.
-func Run(strat *game.Strategy, iut tiots.IUT, opts Options) Result {
+func Run(strat game.Consultant, iut tiots.IUT, opts Options) Result {
 	sys := strat.System()
 	if opts.Scale <= 0 {
 		opts.Scale = tiots.Scale
@@ -233,7 +235,7 @@ type CampaignResult struct {
 
 // Campaign runs the strategy n times against the implementation (useful
 // when the adapter or policy is randomized) and aggregates verdicts.
-func Campaign(name string, strat *game.Strategy, iut tiots.IUT, n int, opts Options) CampaignResult {
+func Campaign(name string, strat game.Consultant, iut tiots.IUT, n int, opts Options) CampaignResult {
 	cr := CampaignResult{Name: name, Runs: n, Reasons: map[string]int{}}
 	for i := 0; i < n; i++ {
 		res := Run(strat, iut, opts)
