@@ -28,10 +28,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"tigatest/internal/campaign"
 	"tigatest/internal/dsl"
@@ -59,8 +64,27 @@ func main() {
 		propWorkers = flag.Int("prop-workers", 1, "propagation workers; > 1 is faster but makes reason texts schedule-dependent")
 		sharedCore  = flag.Bool("shared-core", true, "solve edge goals as ghost overlays on one shared explored core (false: re-explore a clone per edge; reports are identical either way)")
 		compile     = flag.Bool("compile", true, "execute through compiled strategy decision tables (false: interpreted consultation; reports are identical either way)")
+		timeout     = flag.Duration("timeout", 0, "abort the campaign cooperatively after this long (0 = none); SIGINT aborts the same way")
 	)
 	flag.Parse()
+
+	// One cancel channel threads through planner, solver and executor:
+	// closed by -timeout or the first SIGINT (a second SIGINT kills hard).
+	cancel := make(chan struct{})
+	var once sync.Once
+	cancelOnce := func() { once.Do(func() { close(cancel) }) }
+	if *timeout > 0 {
+		t := time.AfterFunc(*timeout, cancelOnce)
+		defer t.Stop()
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "campaign: interrupt — aborting cooperatively (interrupt again to kill)")
+		cancelOnce()
+		signal.Stop(sig)
+	}()
 
 	sys, env, plant, err := loadModel(*modelName, *file, *nodes, *plantList)
 	if err != nil {
@@ -78,12 +102,16 @@ func main() {
 		Workers:           *workers,
 		Repeats:           *repeats,
 		Seed:              *seed,
-		Solver:            game.Options{Workers: *solvWorkers, PropagationWorkers: *propWorkers},
+		Solver:            game.Options{Workers: *solvWorkers, PropagationWorkers: *propWorkers, Cancel: cancel},
 		RemoteAddr:        *connect,
 		DisableSharedCore: !*sharedCore,
 		DisableCompile:    !*compile,
 	})
 	if err != nil {
+		if errors.Is(err, game.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "campaign: canceled (timeout or interrupt); no report produced")
+			os.Exit(3)
+		}
 		fatal(err)
 	}
 

@@ -47,6 +47,7 @@ func main() {
 		maxSessions = flag.Int("max-sessions", 64, "concurrent session bound; extra connections get an explicit busy response")
 		solvWorkers = flag.Int("solver-workers", 0, "strategy-synthesis exploration workers (0 = all cores)")
 		propWorkers = flag.Int("prop-workers", 1, "propagation workers; > 1 trades byte-identical responses for solve speed")
+		reqTimeout  = flag.Duration("request-timeout", 0, "default per-request deadline (0 = none); requests override with deadline_ms")
 		quiet       = flag.Bool("quiet", false, "suppress operational logging")
 	)
 	flag.Var(&files, "file", "additional model file in the tigatest DSL (repeatable)")
@@ -59,9 +60,10 @@ func main() {
 		logf = nil
 	}
 	svc := service.New(service.Options{
-		MaxSessions: *maxSessions,
-		Solver:      game.Options{Workers: *solvWorkers, PropagationWorkers: *propWorkers},
-		Logf:        logf,
+		MaxSessions:    *maxSessions,
+		Solver:         game.Options{Workers: *solvWorkers, PropagationWorkers: *propWorkers},
+		RequestTimeout: *reqTimeout,
+		Logf:           logf,
 	})
 
 	for _, name := range strings.Split(*modelList, ",") {

@@ -25,14 +25,17 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tigatest/internal/faultconn"
 	"tigatest/internal/game"
 	"tigatest/internal/model"
 	"tigatest/internal/models"
@@ -57,6 +60,11 @@ func main() {
 		minHits  = flag.Int64("min-cache-hits", 0, "fail unless the daemon reports at least this many cache hits")
 		minComp  = flag.Int64("min-compiled-hits", 0, "fail unless the daemon reports at least this many compiled-strategy hits")
 		wait     = flag.Duration("wait", 10*time.Second, "dial retry window (daemon may still be starting, or briefly busy)")
+
+		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline sent as deadline_ms (0 = none)")
+		maxRetries = flag.Int("retries", 3, "retries per request on transient errors (expired deadline, broken session), capped exponential backoff")
+		chaosSeed  = flag.Int64("chaos-seed", 0, "non-zero: route session connections through the seeded fault injector (internal/faultconn); the stats fetch stays clean")
+		tolerate   = flag.Bool("tolerate-failures", false, "exit zero despite failed sessions/requests (chaos smoke: crash-freedom is the assertion, not success)")
 	)
 	flag.Parse()
 
@@ -72,39 +80,61 @@ func main() {
 	lat := make([][]time.Duration, *sessions)
 	var failedSessions, failedRequests, pass, failV, incon, dialRetries atomic.Int64
 	var localRuns, localPass, compiledBytes atomic.Int64
+	var timeouts, retried, chaosDials atomic.Int64
+	// Each (re)dial under chaos draws a fresh derived seed, so redialed
+	// sessions replay a different (still deterministic) fault schedule.
+	sessionDial := func() (*service.Client, error) {
+		var wrap func(net.Conn) net.Conn
+		if *chaosSeed != 0 {
+			cseed := deriveSeed(*chaosSeed, int(chaosDials.Add(1)))
+			wrap = func(c net.Conn) net.Conn {
+				return faultconn.Wrap(c, faultconn.Options{
+					Seed:          cseed,
+					LatencyP:      0.05,
+					FragmentP:     0.25,
+					GarbageP:      0.02,
+					CloseAfterOps: 400,
+				})
+			}
+		}
+		return dialRetry(*addr, *wait, wrap, &dialRetries)
+	}
 	var wg sync.WaitGroup
 	t0 := time.Now()
 	for k := 0; k < *sessions; k++ {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			cli, err := dialRetry(*addr, *wait, &dialRetries)
+			cli, err := sessionDial()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "tigaload: session %d: %v\n", k, err)
 				failedSessions.Add(1)
 				return
 			}
-			defer cli.Close()
+			defer func() { cli.Close() }()
 			var iut tiots.IUT
 			if *iutKind == "inline" {
 				iut = tiots.NewDetIUT(impl, tiots.Scale, nil)
 			}
 			ok := true
 			for r := 0; r < *requests; r++ {
+				req := service.Request{
+					Model:      sys.Name,
+					Purpose:    *purpose,
+					Mode:       *mode,
+					Repeats:    *repeats,
+					Seed:       *seed + int64(k),
+					DeadlineMS: reqTimeout.Milliseconds(),
+				}
 				start := time.Now()
-				run, err := cli.Run(service.Request{
-					Model:   sys.Name,
-					Purpose: *purpose,
-					Mode:    *mode,
-					Repeats: *repeats,
-					Seed:    *seed + int64(k),
-				}, iut)
+				fresh, run, err := runWithRetry(cli, req, iut, sessionDial, *maxRetries, &timeouts, &retried)
+				cli = fresh
 				lat[k] = append(lat[k], time.Since(start))
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "tigaload: session %d request %d: %v\n", k, r, err)
 					failedRequests.Add(1)
 					ok = false
-					break // the session stream is unreliable after a failure
+					break // retries exhausted; the session stream is unreliable
 				}
 				pass.Add(int64(run.Pass))
 				failV.Add(int64(run.Fail))
@@ -128,9 +158,11 @@ func main() {
 	wg.Wait()
 	wall := time.Since(t0)
 
-	// Final stats over a fresh session (slots are free now).
+	// Final stats over a fresh session (slots are free now). Always a clean
+	// connection — the counters must be readable even when chaos wrecked
+	// every load session.
 	var stats *service.Stats
-	if cli, err := dialRetry(*addr, *wait, &dialRetries); err == nil {
+	if cli, err := dialRetry(*addr, *wait, nil, &dialRetries); err == nil {
 		stats, err = cli.Stats()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tigaload: stats: %v\n", err)
@@ -158,6 +190,9 @@ func main() {
 		FailedSessions:     failedSessions.Load(),
 		FailedRequests:     failedRequests.Load(),
 		DialRetries:        dialRetries.Load(),
+		Timeouts:           timeouts.Load(),
+		Retries:            retried.Load(),
+		ChaosSeed:          *chaosSeed,
 		Verdicts:           verdicts{Pass: pass.Load(), Fail: failV.Load(), Incon: incon.Load()},
 		LocalRuns:          localRuns.Load(),
 		LocalPass:          localPass.Load(),
@@ -175,6 +210,10 @@ func main() {
 
 	fmt.Printf("tigaload: %d sessions x %d requests against %s (%s): %d failed sessions, %d failed requests\n",
 		rep.Sessions, rep.RequestsPerSession, rep.Addr, rep.Model, rep.FailedSessions, rep.FailedRequests)
+	if rep.Timeouts > 0 || rep.Retries > 0 || rep.ChaosSeed != 0 {
+		fmt.Printf("  robustness: %d deadline expiries, %d retries (chaos seed %d)\n",
+			rep.Timeouts, rep.Retries, rep.ChaosSeed)
+	}
 	fmt.Printf("  latency ms: p50=%.1f p90=%.1f p99=%.1f max=%.1f; throughput %.1f req/s\n",
 		rep.Latency.P50, rep.Latency.P90, rep.Latency.P99, rep.Latency.Max, rep.ThroughputRPS)
 	if stats != nil {
@@ -196,7 +235,7 @@ func main() {
 	}
 
 	switch {
-	case rep.FailedSessions > 0 || rep.FailedRequests > 0:
+	case (rep.FailedSessions > 0 || rep.FailedRequests > 0) && !*tolerate:
 		fatal(fmt.Errorf("%d sessions / %d requests failed", rep.FailedSessions, rep.FailedRequests))
 	case stats == nil:
 		fatal(fmt.Errorf("could not fetch service stats"))
@@ -263,6 +302,9 @@ type report struct {
 	FailedSessions     int64          `json:"failed_sessions"`
 	FailedRequests     int64          `json:"failed_requests"`
 	DialRetries        int64          `json:"dial_retries"`
+	Timeouts           int64          `json:"timeouts"`
+	Retries            int64          `json:"retries"`
+	ChaosSeed          int64          `json:"chaos_seed,omitempty"`
 	Verdicts           verdicts       `json:"verdicts"`
 	LocalRuns          int64          `json:"local_compiled_runs"`
 	LocalPass          int64          `json:"local_compiled_pass"`
@@ -289,12 +331,58 @@ func percentile(sorted []time.Duration, q int) float64 {
 	return float64(sorted[idx-1].Microseconds()) / 1000
 }
 
+// runWithRetry executes one run request, retrying transient failures with
+// capped exponential backoff (25ms doubling to 400ms). An expired deadline
+// (service.ErrDeadline) leaves the session usable, so the retry reuses it;
+// any other failure means the session stream is unreliable — the retry
+// redials a fresh session through dial. The returned client is whichever
+// session the caller should keep using.
+func runWithRetry(cli *service.Client, req service.Request, iut tiots.IUT,
+	dial func() (*service.Client, error), maxRetries int,
+	timeouts, retried *atomic.Int64) (*service.Client, *service.RunInfo, error) {
+	backoff := 25 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		run, err := cli.Run(req, iut)
+		if err == nil {
+			return cli, run, nil
+		}
+		if errors.Is(err, service.ErrDeadline) {
+			timeouts.Add(1)
+		} else {
+			cli.Close()
+			fresh, derr := dial()
+			if derr != nil {
+				return cli, nil, fmt.Errorf("%v (redial: %v)", err, derr)
+			}
+			cli = fresh
+		}
+		if attempt >= maxRetries {
+			return cli, nil, err
+		}
+		retried.Add(1)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 400*time.Millisecond {
+			backoff = 400 * time.Millisecond
+		}
+	}
+}
+
+// deriveSeed mixes an index into the base seed (splitmix64 finalizer), so
+// every chaos session draws an uncorrelated fault schedule.
+func deriveSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // dialRetry dials until the window closes, retrying connection refusals
-// (daemon starting) and busy rejections (backpressure) alike.
-func dialRetry(addr string, window time.Duration, retries *atomic.Int64) (*service.Client, error) {
+// (daemon starting) and busy rejections (backpressure) alike. wrap, when
+// non-nil, decorates the raw connection (fault injection).
+func dialRetry(addr string, window time.Duration, wrap func(net.Conn) net.Conn, retries *atomic.Int64) (*service.Client, error) {
 	deadline := time.Now().Add(window)
 	for {
-		cli, err := service.Dial(addr)
+		cli, err := service.DialWith(addr, wrap)
 		if err == nil {
 			return cli, nil
 		}

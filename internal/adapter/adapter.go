@@ -22,13 +22,23 @@ package adapter
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"tigatest/internal/tiots"
 )
+
+// Deadliner is the deadline-control subset of net.Conn the idle-timeout
+// support needs. Streams that do not implement it are served without I/O
+// deadlines (ServeConnIdle degrades to ServeConn behavior).
+type Deadliner interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
 
 // Message is one protocol frame.
 type Message struct {
@@ -95,6 +105,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
+	idle   time.Duration
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") exposing one shared
@@ -123,6 +134,22 @@ func serve(addr string, factory func() tiots.IUT, serial bool) (*Server, error) 
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetIdleTimeout bounds every frame exchange of subsequently served
+// sessions: a peer that stalls longer than d mid-session is disconnected
+// instead of pinning the session (and, in serial mode, every later
+// dialer). 0 — the default — preserves the wait-forever semantics.
+func (s *Server) SetIdleTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.idle = d
+	s.mu.Unlock()
+}
+
+func (s *Server) idleTimeout() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idle
+}
 
 // Close stops accepting sessions. Active sessions end when their
 // connections do (drivers close their side after a run).
@@ -155,22 +182,47 @@ func (s *Server) loop() {
 
 func (s *Server) handle(conn net.Conn, iut tiots.IUT) {
 	defer conn.Close()
-	ServeConn(conn, iut)
+	_ = ServeConnIdle(conn, iut, s.idleTimeout())
 }
 
 // ServeConn serves one session of the wire protocol on an arbitrary stream
 // until it fails to decode (connection closed or foreign bytes). It does
 // not close the stream.
 func ServeConn(rw io.ReadWriter, iut tiots.IUT) {
+	_ = ServeConnIdle(rw, iut, 0)
+}
+
+// ServeConnIdle serves one session like ServeConn but bounds every frame
+// exchange when idle > 0 and the stream controls deadlines (Deadliner —
+// every net.Conn does): a read or write that stalls past idle ends the
+// session with the deadline error. It returns nil on clean end-of-stream
+// and the terminating error otherwise (idle expiries satisfy
+// net.Error.Timeout); write errors terminate the exchange rather than
+// being silently dropped, so a half-closed peer is detected on the reply,
+// not one stalled read later.
+func ServeConnIdle(rw io.ReadWriter, iut tiots.IUT, idle time.Duration) error {
 	dec := json.NewDecoder(bufio.NewReader(rw))
 	enc := json.NewEncoder(rw)
+	dl, hasDL := rw.(Deadliner)
+	arm := func() {
+		if hasDL && idle > 0 {
+			now := time.Now()
+			_ = dl.SetReadDeadline(now.Add(idle))
+			_ = dl.SetWriteDeadline(now.Add(idle))
+		}
+	}
 	for {
+		arm()
 		var m Message
 		if err := dec.Decode(&m); err != nil {
-			return
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
 		}
+		arm()
 		if err := enc.Encode(Apply(iut, m)); err != nil {
-			return
+			return err
 		}
 	}
 }
@@ -182,6 +234,8 @@ type Client struct {
 	dec  *json.Decoder
 	enc  *json.Encoder
 	err  error
+	dl   Deadliner
+	idle time.Duration
 }
 
 // Dial connects to a Server.
@@ -194,6 +248,7 @@ func Dial(addr string) (*Client, error) {
 		conn: conn,
 		dec:  json.NewDecoder(bufio.NewReader(conn)),
 		enc:  json.NewEncoder(conn),
+		dl:   conn,
 	}, nil
 }
 
@@ -218,9 +273,31 @@ func (c *Client) Close() error {
 // the driver should check Err after a suspicious run).
 func (c *Client) Err() error { return c.err }
 
+// SetIdleTimeout bounds every wire round trip of this client: a remote
+// that stalls longer than d mid-exchange surfaces as a transport error
+// (Err; satisfies net.Error.Timeout) instead of hanging the driver
+// forever. 0 — the default — waits forever. Dial clients carry deadline
+// control already; ClientOn clients additionally need SetDeadliner, since
+// a bare encoder/decoder pair has none.
+func (c *Client) SetIdleTimeout(d time.Duration) { c.idle = d }
+
+// SetDeadliner supplies deadline control for ClientOn clients whose
+// underlying stream has it (e.g. the net.Conn a shared decoder/encoder
+// pair was built over).
+func (c *Client) SetDeadliner(dl Deadliner) { c.dl = dl }
+
 func (c *Client) roundTrip(m Message) (Message, error) {
 	if c.err != nil {
 		return Message{}, c.err
+	}
+	if c.dl != nil && c.idle > 0 {
+		now := time.Now()
+		_ = c.dl.SetWriteDeadline(now.Add(c.idle))
+		_ = c.dl.SetReadDeadline(now.Add(c.idle))
+		defer func() {
+			_ = c.dl.SetWriteDeadline(time.Time{})
+			_ = c.dl.SetReadDeadline(time.Time{})
+		}()
 	}
 	if err := c.enc.Encode(m); err != nil {
 		c.err = err

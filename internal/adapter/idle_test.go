@@ -1,0 +1,203 @@
+// Idle-timeout and fault-tolerance tests: a hung peer must cost a bounded
+// wait, never a pinned session; injected wire faults must surface as
+// transport errors, never hangs or corrupted verdicts.
+
+package adapter
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"tigatest/internal/faultconn"
+	"tigatest/internal/model"
+	"tigatest/internal/models"
+	"tigatest/internal/tiots"
+)
+
+func smartlightIUT() tiots.IUT {
+	spec := models.SmartLight()
+	impl := model.ExtractPlant(spec, models.SmartLightPlant(spec), "Stub")
+	return tiots.NewDetIUT(impl, tiots.Scale, nil)
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// TestServeConnIdleHungPeer: a peer that connects and then never sends is
+// disconnected once the idle timeout expires — with a timeout error, within
+// bounded wall-clock.
+func TestServeConnIdleHungPeer(t *testing.T) {
+	srv, cli := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- ServeConnIdle(srv, smartlightIUT(), 50*time.Millisecond) }()
+	select {
+	case err := <-errCh:
+		if !isTimeout(err) {
+			t.Fatalf("want a timeout error, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("hung peer pinned the session past the idle timeout")
+	}
+}
+
+// TestServeConnIdleZeroWaitsForever pins the default: without an idle
+// timeout the session blocks on the silent peer (the pre-existing
+// wait-forever semantics stay opt-in).
+func TestServeConnIdleZeroWaitsForever(t *testing.T) {
+	srv, cli := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- ServeConnIdle(srv, smartlightIUT(), 0) }()
+	select {
+	case err := <-errCh:
+		t.Fatalf("session must wait for the silent peer, returned %v", err)
+	case <-time.After(150 * time.Millisecond):
+	}
+}
+
+// TestServerIdleTimeoutUnblocksSerialQueue: in serial mode a hung session
+// used to pin every later dialer forever; with an idle timeout the hung
+// peer is disconnected and the next dialer gets served.
+func TestServerIdleTimeoutUnblocksSerialQueue(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", smartlightIUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetIdleTimeout(100 * time.Millisecond)
+
+	// The hung peer: dials, owns the serial server, never speaks.
+	hung, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hung.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		cli, err := Dial(srv.Addr())
+		if err != nil {
+			done <- err
+			return
+		}
+		defer cli.Close()
+		done <- cli.Offer(0)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("second session after the hung peer was dropped: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("hung peer still pins the serial queue despite the idle timeout")
+	}
+}
+
+// TestClientIdleTimeout: a driver talking to a stalled remote gets a
+// bounded, typed transport error instead of hanging forever.
+func TestClientIdleTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			accepted <- conn // never answered: the stalled remote
+		}
+	}()
+
+	cli, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetIdleTimeout(50 * time.Millisecond)
+
+	done := make(chan error, 1)
+	go func() { done <- cli.Offer(0) }()
+	select {
+	case err := <-done:
+		if !isTimeout(err) {
+			t.Fatalf("want a timeout error from the stalled remote, got %v", err)
+		}
+		if cli.Err() == nil {
+			t.Fatal("the transport error must stick in Err()")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stalled remote hung the driver past its idle timeout")
+	}
+	if conn := <-accepted; conn != nil {
+		conn.Close()
+	}
+}
+
+// TestClientSurvivesChaoticTransport drives full protocol exchanges through
+// the fault injector (latency spikes, fragmented writes, injected garbage,
+// mid-stream close): every outcome must be a result or a transport error in
+// bounded time — never a hang, never a server crash — and a fresh clean
+// connection must work afterwards.
+func TestClientSurvivesChaoticTransport(t *testing.T) {
+	srv, err := ServeFactory("127.0.0.1:0", smartlightIUT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetIdleTimeout(2 * time.Second)
+
+	for seed := int64(1); seed <= 8; seed++ {
+		raw, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc := faultconn.Wrap(raw, faultconn.Options{
+			Seed:          seed,
+			LatencyP:      0.2,
+			FragmentP:     0.4,
+			GarbageP:      0.1,
+			CloseAfterOps: 40,
+		})
+		cli := &Client{conn: fc, dec: json.NewDecoder(bufio.NewReader(fc)), enc: json.NewEncoder(fc), dl: fc}
+		cli.SetIdleTimeout(2 * time.Second)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			cli.Reset()
+			for i := 0; i < 20 && cli.Err() == nil; i++ {
+				_ = cli.Offer(0)
+				_ = cli.Advance(tiots.Scale)
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("seed %d: chaotic exchange hung", seed)
+		}
+		cli.Close()
+	}
+
+	// The server is still healthy: a clean session completes a round trip.
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.Reset()
+	if out := cli.Advance(tiots.Scale); out != nil {
+		t.Fatalf("clean session after chaos: unexpected output %+v", out)
+	}
+	if cli.Err() != nil {
+		t.Fatalf("clean session after chaos: %v", cli.Err())
+	}
+}

@@ -148,7 +148,27 @@ func (o *Options) withDefaults(sys *model.System) Options {
 	if len(opts.Exec.PlantProcs) == 0 {
 		opts.Exec.PlantProcs = opts.Plant
 	}
+	if opts.Exec.Cancel == nil {
+		// One hook cancels the whole campaign: planner goal loop, cell
+		// executors and individual test runs all poll the same channel.
+		opts.Exec.Cancel = opts.Solver.Cancel
+	}
 	return opts
+}
+
+// canceled polls a cancellation hook without blocking (nil = never fires).
+// Options.Solver.Cancel doubles as the campaign-level hook: the planner
+// checks it between goals, Execute between cells.
+func canceled(ch <-chan struct{}) error {
+	if ch == nil {
+		return nil
+	}
+	select {
+	case <-ch:
+		return game.ErrCanceled
+	default:
+		return nil
+	}
 }
 
 // Run plans, executes and scores a campaign against the specification.
@@ -174,6 +194,11 @@ func Run(sys *model.System, env *tctl.ParseEnv, o Options) (*Report, error) {
 	}
 	matrix := Execute(suite, rows, &opts)
 	execMS := time.Since(t1).Milliseconds()
+	if err := canceled(opts.Solver.Cancel); err != nil {
+		// Execute stopped early; a partial matrix must not masquerade as a
+		// completed campaign report.
+		return nil, fmt.Errorf("campaign: execution: %w", err)
+	}
 
 	rep := assembleReport(sys, suite, rows, matrix, &opts)
 	rep.Volatile = &Volatile{

@@ -92,6 +92,11 @@ func Execute(suite *Suite, rows []*IUTRow, opts *Options) [][]CellTally {
 				if i >= len(tasks) {
 					return
 				}
+				if canceled(opts.Solver.Cancel) != nil {
+					// Leave the remaining cells zero; campaign.Run refuses
+					// to report a partial matrix.
+					return
+				}
 				t := tasks[i]
 				entry := suite.Entries[t.entry]
 				// One consultant per entry, shared by every IUT row and every

@@ -316,6 +316,11 @@ func Plan(sys *model.System, env *tctl.ParseEnv, opts *Options) (*Suite, error) 
 	misses := map[string]miss{}
 
 	for _, pg := range suite.Goals {
+		// Per-goal cancellation point: a campaign is dozens of solves and
+		// conformant runs, any of which may outlive the request deadline.
+		if err := canceled(opts.Solver.Cancel); err != nil {
+			return nil, fmt.Errorf("campaign: planning: %w", err)
+		}
 		if by := coveredBy(pg.Goal); by >= 0 {
 			pg.Status, pg.By = StatusCovered, by
 			continue
@@ -440,6 +445,9 @@ func Plan(sys *model.System, env *tctl.ParseEnv, opts *Options) (*Suite, error) 
 		return -1
 	}
 	for _, pg := range suite.Goals {
+		if err := canceled(opts.Solver.Cancel); err != nil {
+			return nil, fmt.Errorf("campaign: lazy sweep: %w", err)
+		}
 		if pg.Status != "" {
 			continue
 		}

@@ -99,6 +99,12 @@ func (r *Runner) RunCell(factory IUTFactory, repeats int, seed int64) CellTally 
 	tally := CellTally{}
 	reasons := map[string]int{}
 	for rep := 0; rep < repeats; rep++ {
+		// A fired cancellation (request deadline) ends the cell after the
+		// current repeat: texec.Run already cut that run short, and fresh
+		// repeats would each burn a run just to observe the same signal.
+		if rep > 0 && canceled(r.Exec.Cancel) != nil {
+			break
+		}
 		res := r.runRep(factory, deriveSeed(seed, rep))
 		switch res.Verdict {
 		case texec.Pass:

@@ -1,0 +1,149 @@
+// Package faultconn wraps net.Conn with seeded, deterministic fault
+// injection for chaos-testing wire protocols: latency spikes, fragmented
+// writes, injected trailing garbage, and hard mid-stream closes. The
+// tester-versus-bug framing of game-theoretic testing makes the peer an
+// adversary; this package is that adversary in reusable form, driving the
+// adapter wire protocol and the service control API through the failure
+// modes a production daemon must survive (slow peers, half-frames, dirty
+// disconnects, protocol trash).
+//
+// All faults draw from one mutex-guarded math/rand stream seeded by
+// Options.Seed, so a given (seed, options, traffic) triple replays the
+// same fault schedule — chaos test failures reproduce.
+package faultconn
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedClose reports that the wrapper hard-closed the connection
+// because Options.CloseAfterOps was reached — the injected fault, not a
+// peer failure.
+var ErrInjectedClose = errors.New("faultconn: injected mid-stream close")
+
+// Options select the faults and their rates. Zero values disable each
+// fault, so Options{} is a transparent wrapper.
+type Options struct {
+	// Seed drives the deterministic fault schedule.
+	Seed int64
+	// LatencyP is the per-operation probability of stalling for Latency
+	// (default 1ms) before the I/O proceeds — the slow-peer fault.
+	LatencyP float64
+	Latency  time.Duration
+	// FragmentP is the per-write probability the payload is dribbled out
+	// in small chunks with scheduling pauses in between — exercises
+	// partial-read handling on the peer.
+	FragmentP float64
+	// GarbageP is the per-write probability of appending a line of
+	// protocol trash after the payload — exercises foreign-frame and
+	// desync handling.
+	GarbageP float64
+	// CloseAfterOps hard-closes the connection after this many combined
+	// reads and writes (0 = never) — the vanishing-peer fault.
+	CloseAfterOps int
+}
+
+// Conn is a fault-injecting net.Conn wrapper. Deadline and address methods
+// pass through, so wrapped connections keep working with deadline-based
+// idle timeouts.
+type Conn struct {
+	net.Conn
+	opts Options
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	ops int
+}
+
+// Wrap decorates c with the configured faults.
+func Wrap(c net.Conn, opts Options) *Conn {
+	if opts.Latency <= 0 {
+		opts.Latency = time.Millisecond
+	}
+	return &Conn{Conn: c, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// tick accounts one I/O operation: it may stall (latency spike) and may
+// hard-close the connection once the op budget is spent.
+func (c *Conn) tick() error {
+	c.mu.Lock()
+	c.ops++
+	closeNow := c.opts.CloseAfterOps > 0 && c.ops > c.opts.CloseAfterOps
+	spike := c.opts.LatencyP > 0 && c.rng.Float64() < c.opts.LatencyP
+	c.mu.Unlock()
+	if closeNow {
+		_ = c.Conn.Close()
+		return ErrInjectedClose
+	}
+	if spike {
+		time.Sleep(c.opts.Latency)
+	}
+	return nil
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.tick(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.tick(); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	frag := c.opts.FragmentP > 0 && c.rng.Float64() < c.opts.FragmentP
+	garbage := c.opts.GarbageP > 0 && c.rng.Float64() < c.opts.GarbageP
+	c.mu.Unlock()
+
+	if frag {
+		if n, err := c.writeFragmented(p); err != nil {
+			return n, err
+		}
+	} else if _, err := c.Conn.Write(p); err != nil {
+		return 0, err
+	}
+	if garbage {
+		// Trailing trash after a complete payload: the peer's next decode
+		// meets a frame no JSON parser accepts. The write itself still
+		// reports success — the payload did arrive.
+		_, _ = c.Conn.Write(c.garbageLine())
+	}
+	return len(p), nil
+}
+
+// writeFragmented dribbles p out in 1–8 byte chunks, yielding the
+// scheduler between them so the peer observes genuinely partial reads.
+func (c *Conn) writeFragmented(p []byte) (int, error) {
+	written := 0
+	for written < len(p) {
+		c.mu.Lock()
+		n := 1 + c.rng.Intn(8)
+		c.mu.Unlock()
+		if n > len(p)-written {
+			n = len(p) - written
+		}
+		m, err := c.Conn.Write(p[written : written+n])
+		written += m
+		if err != nil {
+			return written, err
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return written, nil
+}
+
+// garbageLine builds one newline-terminated junk frame, deterministic from
+// the shared rng.
+func (c *Conn) garbageLine() []byte {
+	const junk = "#!garbage$%&"
+	c.mu.Lock()
+	n := 1 + c.rng.Intn(len(junk))
+	c.mu.Unlock()
+	return append([]byte(junk[:n]), '\n')
+}

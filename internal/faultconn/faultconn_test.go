@@ -1,0 +1,110 @@
+package faultconn
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect reads everything the peer end receives until EOF.
+func collect(t *testing.T, c net.Conn) <-chan []byte {
+	t.Helper()
+	out := make(chan []byte, 1)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, c)
+		out <- buf.Bytes()
+	}()
+	return out
+}
+
+// TestDeterministicSchedule: the same seed over the same traffic produces
+// byte-identical peer-visible streams — chaos failures reproduce.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) []byte {
+		a, b := net.Pipe()
+		got := collect(t, b)
+		fc := Wrap(a, Options{Seed: seed, FragmentP: 0.5, GarbageP: 0.3})
+		for i := 0; i < 20; i++ {
+			if _, err := fc.Write([]byte("{\"op\":\"probe\"}\n")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fc.Close()
+		return <-got
+	}
+	first := run(7)
+	second := run(7)
+	if !bytes.Equal(first, second) {
+		t.Fatal("equal seeds must replay the identical fault schedule")
+	}
+	other := run(8)
+	if bytes.Equal(first, other) {
+		t.Fatal("distinct seeds should perturb the schedule (same bytes is astronomically unlikely)")
+	}
+}
+
+// TestWriteReportsFullLength: however the payload is dribbled out (and
+// whatever trash follows it), a successful Write reports len(p) — callers
+// like json.Encoder must never see a short write.
+func TestWriteReportsFullLength(t *testing.T) {
+	a, b := net.Pipe()
+	got := collect(t, b)
+	fc := Wrap(a, Options{Seed: 3, FragmentP: 1.0})
+	payload := []byte("0123456789abcdef\n")
+	n, err := fc.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	fc.Close()
+	if data := <-got; !bytes.Equal(data, payload) {
+		t.Fatalf("fragmented payload must arrive intact, got %q", data)
+	}
+}
+
+// TestCloseAfterOps: past the op budget every I/O fails with the typed
+// injected-close error and the underlying connection is really closed.
+func TestCloseAfterOps(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // drain so the first writes complete
+		defer wg.Done()
+		_, _ = io.Copy(io.Discard, b)
+	}()
+	fc := Wrap(a, Options{Seed: 1, CloseAfterOps: 2})
+	if _, err := fc.Write([]byte("one\n")); err != nil {
+		t.Fatalf("op 1 within budget: %v", err)
+	}
+	if _, err := fc.Write([]byte("two\n")); err != nil {
+		t.Fatalf("op 2 within budget: %v", err)
+	}
+	if _, err := fc.Write([]byte("three\n")); !errors.Is(err, ErrInjectedClose) {
+		t.Fatalf("op 3 past budget: want ErrInjectedClose, got %v", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedClose) {
+		t.Fatalf("reads past budget: want ErrInjectedClose, got %v", err)
+	}
+	wg.Wait() // the copy ends because the pipe really closed
+}
+
+// TestDeadlinePassthrough: the wrapper must not swallow deadline control —
+// idle-timeout machinery keeps working through it.
+func TestDeadlinePassthrough(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := Wrap(a, Options{Seed: 1})
+	if err := fc.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := fc.Read(make([]byte, 1))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want a timeout through the wrapper, got %v", err)
+	}
+}

@@ -85,6 +85,15 @@ func NewBatch(sys *model.System, opts Options) (*Batch, error) {
 	return &Batch{sys: sys, opts: opts, graphs: map[string]*skeleton{}}, nil
 }
 
+// SetCancel installs the cancellation hook consulted by subsequent solves
+// on this batch: per-purpose solvers poll it at their budget checkpoints
+// (Options.Cancel), and the skeleton-building and overlay-replay loops poll
+// it directly. Single-caller like every other Batch method — callers that
+// serialize solves (the service layer) set it per solve and clear it with
+// SetCancel(nil) afterwards, so a canceled goal never leaks its hook into
+// the next caller's solve.
+func (b *Batch) SetCancel(ch <-chan struct{}) { b.opts.Cancel = ch }
+
 // maxSignature keys skeletons by their per-clock extrapolation constants.
 func maxSignature(max []int) string {
 	sig := make([]byte, 0, len(max)*3)
@@ -208,6 +217,13 @@ func (s *solver) solveOnSkeleton(sk *skeleton) (*Result, error) {
 	// per-node allocations multiply across the campaign.
 	arena := make([]node, len(sk.nodes))
 	for i, o := range sk.nodes {
+		// Goal building walks the whole skeleton (millions of nodes on the
+		// large LEP instances) before the fixpoint's own budget checks run.
+		if i&4095 == 0 {
+			if err := s.checkCancel(); err != nil {
+				return nil, err
+			}
+		}
 		var goal *dbm.Federation
 		if sk.layers != nil {
 			// Ghost overlay: the goal is the layer, no formula evaluation

@@ -152,6 +152,13 @@ func (s *solver) exploreBatch(frontier []int) error {
 				if i >= len(frontier) {
 					return
 				}
+				// Per-task cancel poll: frontiers reach hundreds of
+				// thousands of nodes, far too coarse for the round-level
+				// checkBudget alone.
+				if err := s.checkCancel(); err != nil {
+					tasks[i] = exploreTask{err: err}
+					continue
+				}
 				buf, tasks[i] = s.exploreOne(frontier[i], buf[:0], &wstats[w])
 			}
 		}(w)

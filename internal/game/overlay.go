@@ -82,7 +82,7 @@ func (b *Batch) SolveEdgeGhost(inst *model.System, formula *tctl.Formula, edgeID
 	} else {
 		s.stats.SkeletonMisses++
 		var err error
-		if ov, err = ghostOverlay(core, edgeID, s.workers > 1, b.opts.MaxNodes); err != nil {
+		if ov, err = ghostOverlay(core, edgeID, s.workers > 1, b.opts.MaxNodes, b.opts.Cancel); err != nil {
 			return nil, err
 		}
 		if b.overlays == nil {
@@ -110,8 +110,9 @@ func (b *Batch) SolveEdgeGhost(inst *model.System, formula *tctl.Formula, edgeID
 // parallel selects the engine schedule to mirror: false replays the serial
 // LIFO exploration order, true the frontier-round order of the batched
 // engine — node ids then match what exploring the instrumented clone at
-// the same worker count would have assigned.
-func ghostOverlay(core *skeleton, edgeID int, parallel bool, maxNodes int) (*skeleton, error) {
+// the same worker count would have assigned. cancel aborts the replay with
+// ErrCanceled (polled every 4096 added nodes).
+func ghostOverlay(core *skeleton, edgeID int, parallel bool, maxNodes int, cancel <-chan struct{}) (*skeleton, error) {
 	watched := func(t *symbolic.Transition) bool {
 		for _, e := range t.Edges {
 			if e.ID == edgeID {
@@ -136,6 +137,13 @@ func ghostOverlay(core *skeleton, edgeID int, parallel bool, maxNodes int) (*ske
 	add := func(skel, layer int) (int, error) {
 		if maxNodes > 0 && len(nodes)+1 > maxNodes {
 			return 0, budgetNodesErr(maxNodes)
+		}
+		if cancel != nil && len(nodes)&4095 == 0 {
+			select {
+			case <-cancel:
+				return 0, ErrCanceled
+			default:
+			}
 		}
 		o := core.nodes[skel]
 		n := &node{

@@ -208,17 +208,23 @@ type propWorker struct {
 	ops int
 }
 
-// budgetTick enforces the time budget every 256 re-evaluations and samples
-// the heap every 4096 (runtime.ReadMemStats is a stop-the-world pause, so
-// it must stay rare). The sample is taken even without a memory budget:
-// Stats.PeakHeapBytes is the Table 1 memory column, and propagation is
-// where the win federations grow.
+// budgetTick polls cancellation every 64 re-evaluations, enforces the time
+// budget every 256, and samples the heap every 4096 (runtime.ReadMemStats
+// is a stop-the-world pause, so it must stay rare). The sample is taken
+// even without a memory budget: Stats.PeakHeapBytes is the Table 1 memory
+// column, and propagation is where the win federations grow.
 func (w *propWorker) budgetTick() error {
 	w.ops++
-	if w.ops&255 != 0 {
+	if w.ops&63 != 0 {
 		return nil
 	}
 	s := w.p.s
+	if err := s.checkCancel(); err != nil {
+		return err
+	}
+	if w.ops&255 != 0 {
+		return nil
+	}
 	if s.opts.TimeBudget > 0 && time.Since(s.t0) > s.opts.TimeBudget {
 		return fmt.Errorf("%w: time budget %v", ErrBudget, s.opts.TimeBudget)
 	}

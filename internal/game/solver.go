@@ -97,11 +97,23 @@ type Options struct {
 	// Workers). Only meaningful for the parallel engine (Workers >= 2);
 	// the serial engine keeps its sequential global-queue propagation.
 	PropagationWorkers int
+	// Cancel, when non-nil, cancels the solve cooperatively: every engine
+	// polls it at its budget checkpoints (serial per node, exploration
+	// workers per task, propagation workers every 64 re-evaluations) and
+	// aborts with ErrCanceled once the channel is closed. Distinct from
+	// ErrBudget so callers can tell an external abort from resource
+	// exhaustion. The channel must only ever be closed, never sent on.
+	Cancel <-chan struct{}
 }
 
 // ErrBudget reports that the memory or time budget was exhausted, the
 // analogue of the "/" (out of memory) entries in the paper's Table 1.
 var ErrBudget = errors.New("game: resource budget exhausted")
+
+// ErrCanceled reports that the solve was aborted through Options.Cancel
+// (an external deadline or shutdown), as opposed to exhausting its own
+// resource budget (ErrBudget).
+var ErrCanceled = errors.New("game: solve canceled")
 
 // Stats summarizes solver effort.
 type Stats struct {
@@ -703,6 +715,9 @@ func (s *solver) forcedGood(n *node) *dbm.Federation {
 // one of those calls) while still sampling every round of the parallel
 // engines (which call once per frontier, however large).
 func (s *solver) checkBudget() error {
+	if err := s.checkCancel(); err != nil {
+		return err
+	}
 	if s.opts.TimeBudget > 0 && time.Since(s.t0) > s.opts.TimeBudget {
 		return fmt.Errorf("%w: time budget %v", ErrBudget, s.opts.TimeBudget)
 	}
@@ -717,6 +732,21 @@ func (s *solver) checkBudget() error {
 	}
 	s.budgetCalls++
 	return nil
+}
+
+// checkCancel polls Options.Cancel without blocking. Safe from any
+// goroutine (the channel is read-only and the poll is stateless), so
+// exploration and propagation workers call it directly.
+func (s *solver) checkCancel() error {
+	if s.opts.Cancel == nil {
+		return nil
+	}
+	select {
+	case <-s.opts.Cancel:
+		return ErrCanceled
+	default:
+		return nil
+	}
 }
 
 func (s *solver) sampleHeap() {

@@ -10,10 +10,25 @@
 // channel and are counted as (joined) hits. Failed solves (budget, bad
 // purpose against this model) are not cached, so transient failures do not
 // poison the key.
+//
+// Deadline semantics: every solve runs on its own goroutine so requesters
+// can withdraw independently (get's done channel — the request deadline).
+// The entry refcounts its waiters; when the LAST waiter withdraws, the
+// entry's cancel channel closes and the solver aborts cooperatively
+// (game.ErrCanceled). A solve that still has waiters keeps running — the
+// longest-surviving waiter's deadline governs it, so a leader hitting its
+// deadline hands the solve off rather than killing it under a joiner.
+// Canceled (and otherwise failed) solves are evicted before their ready
+// channel closes, so the next requester always retries fresh: a cancel can
+// never poison the key. A panicking solve is recovered into an error
+// (counted in panics), evicted like any failure, and never kills the
+// daemon.
 
 package service
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -34,10 +49,17 @@ type cacheKey struct {
 }
 
 // cacheEntry is one cache slot; ready closes when res/err are final.
+// waiters counts the requests currently blocked on ready; the last one to
+// withdraw sets canceled and closes cancel, aborting the in-flight solve.
 type cacheEntry struct {
 	ready chan struct{}
 	res   *game.Result
 	err   error
+
+	mu       sync.Mutex
+	waiters  int
+	canceled bool
+	cancel   chan struct{}
 }
 
 // strategyCache is the concurrent cache. Counters are atomics so the stats
@@ -50,6 +72,8 @@ type strategyCache struct {
 	misses   atomic.Int64 // solves started
 	joined   atomic.Int64 // hits that waited on an in-flight solve
 	inflight atomic.Int64 // solves currently running
+	canceled atomic.Int64 // solves aborted because every waiter withdrew
+	panics   atomic.Int64 // solve panics recovered into errors
 
 	// Compiled-strategy telemetry. Cached results carry their compiled
 	// decision tables (built once per Result, shared by every consumer), so
@@ -65,38 +89,135 @@ func newStrategyCache() *strategyCache {
 	return &strategyCache{entries: map[cacheKey]*cacheEntry{}}
 }
 
-// get returns the cached result for key, running solve exactly once per
-// key across any number of concurrent callers.
-func (c *strategyCache) get(key cacheKey, solve func() (*game.Result, error)) (*game.Result, error) {
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.hits.Add(1)
-		select {
-		case <-e.ready:
-		default:
-			c.joined.Add(1)
-		}
-		c.mu.Unlock()
-		<-e.ready
-		return e.res, e.err
-	}
-	e := &cacheEntry{ready: make(chan struct{})}
-	c.entries[key] = e
-	c.misses.Add(1)
-	c.inflight.Add(1)
-	c.mu.Unlock()
-
-	e.res, e.err = solve()
-	if e.err != nil {
-		// Do not cache failures; the next request retries. Joined waiters
-		// still observe this attempt's error through the entry they hold.
+// get returns the cached result for key, running solve at most once per
+// key across any number of concurrent callers. done, when non-nil, is the
+// caller's withdrawal signal (the request deadline): once it closes, get
+// returns ErrDeadline immediately — the solve itself keeps running as long
+// as any other waiter remains, and is canceled (via the cancel channel
+// handed to solve) when the last one withdraws. Lock order: c.mu before
+// e.mu, never the reverse.
+func (c *strategyCache) get(key cacheKey, done <-chan struct{}, solve func(cancel <-chan struct{}) (*game.Result, error)) (*game.Result, error) {
+	for {
 		c.mu.Lock()
-		delete(c.entries, key)
+		if e, ok := c.entries[key]; ok {
+			select {
+			case <-e.ready:
+				// Completed entry: only successes stay in the map.
+				c.mu.Unlock()
+				c.hits.Add(1)
+				return e.res, e.err
+			default:
+			}
+			e.mu.Lock()
+			if !e.canceled {
+				// Join the in-flight solve. Registering under e.mu means the
+				// last-waiter accounting can never miss us: a concurrent
+				// withdrawal either sees our registration or completes first
+				// (and then canceled is set and we take the branch below).
+				e.waiters++
+				e.mu.Unlock()
+				c.mu.Unlock()
+				c.hits.Add(1)
+				c.joined.Add(1)
+				res, err, withdrawn := c.await(e, done)
+				if withdrawn {
+					return nil, ErrDeadline
+				}
+				if err != nil && errors.Is(err, game.ErrCanceled) {
+					// The solve lost its last waiter in the window before our
+					// registration took effect. The entry is already evicted;
+					// our own deadline has not fired, so retry fresh.
+					continue
+				}
+				return res, err
+			}
+			// Doomed entry: the solve is being canceled but has not finished
+			// aborting yet. Replace it — its settle() deletes only its own
+			// identity, so the fresh entry is safe in the map.
+			e.mu.Unlock()
+		}
+		e := &cacheEntry{ready: make(chan struct{}), cancel: make(chan struct{}), waiters: 1}
+		c.entries[key] = e
+		c.misses.Add(1)
+		c.inflight.Add(1)
+		c.mu.Unlock()
+		go c.runSolve(key, e, solve)
+		res, err, withdrawn := c.await(e, done)
+		if withdrawn {
+			return nil, ErrDeadline
+		}
+		return res, err
+	}
+}
+
+// await blocks until the entry resolves or the caller withdraws (done
+// closed, checked only after a completion re-check so a ready result always
+// wins the race). withdrawn reports the latter; the last withdrawal cancels
+// the in-flight solve.
+func (c *strategyCache) await(e *cacheEntry, done <-chan struct{}) (res *game.Result, err error, withdrawn bool) {
+	if done == nil {
+		<-e.ready
+		return e.res, e.err, false
+	}
+	select {
+	case <-e.ready:
+		return e.res, e.err, false
+	default:
+	}
+	select {
+	case <-e.ready:
+		return e.res, e.err, false
+	case <-done:
+	}
+	select {
+	case <-e.ready:
+		// Completion raced the deadline; take the result.
+		return e.res, e.err, false
+	default:
+	}
+	e.mu.Lock()
+	e.waiters--
+	if e.waiters == 0 && !e.canceled {
+		e.canceled = true
+		close(e.cancel)
+	}
+	e.mu.Unlock()
+	return nil, nil, true
+}
+
+// runSolve runs one solve on its own goroutine (so waiters can withdraw
+// independently of it) and settles the entry. Panics are recovered into an
+// error result: a malformed model or a solver bug must cost one request,
+// never the daemon.
+func (c *strategyCache) runSolve(key cacheKey, e *cacheEntry, solve func(cancel <-chan struct{}) (*game.Result, error)) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.panics.Add(1)
+			e.res, e.err = nil, fmt.Errorf("solve panicked: %v", r)
+			c.settle(key, e)
+		}
+	}()
+	e.res, e.err = solve(e.cancel)
+	c.settle(key, e)
+}
+
+// settle publishes the outcome: failed solves — canceled ones included —
+// are evicted before ready closes, so no requester can ever observe a
+// poisoned completed entry; the eviction is identity-checked because a
+// doomed entry may already have been replaced by a fresh one.
+func (c *strategyCache) settle(key cacheKey, e *cacheEntry) {
+	if e.err != nil {
+		if errors.Is(e.err, game.ErrCanceled) {
+			c.canceled.Add(1)
+		}
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
 		c.mu.Unlock()
 	}
 	c.inflight.Add(-1)
 	close(e.ready)
-	return e.res, e.err
 }
 
 // size returns the number of completed-or-inflight entries.

@@ -1,0 +1,112 @@
+// Chaos tests: malicious/broken peers (slow writes, fragmented frames,
+// protocol garbage, vanishing connections) against a live daemon. The
+// assertion is crash-freedom — sessions may fail, the daemon must not: no
+// recovered panics, clean service to a fresh connection, clean drain.
+
+package service
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"tigatest/internal/faultconn"
+	"tigatest/internal/models"
+)
+
+// TestServiceSurvivesChaoticPeers runs several fault-injected sessions
+// (inline runs included, so the adapter wire protocol shares the chaotic
+// stream) concurrently, then verifies the daemon still serves a clean
+// session and recovered zero panics.
+func TestServiceSurvivesChaoticPeers(t *testing.T) {
+	s := startService(t, Options{MaxSessions: 16, RequestTimeout: 5 * time.Second})
+	addr := s.Addr()
+
+	var wg sync.WaitGroup
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			wrap := func(c net.Conn) net.Conn {
+				return faultconn.Wrap(c, faultconn.Options{
+					Seed:          int64(1000 + k),
+					LatencyP:      0.1,
+					FragmentP:     0.3,
+					GarbageP:      0.05,
+					CloseAfterOps: 120,
+				})
+			}
+			cli, err := DialWith(addr, wrap)
+			if err != nil {
+				return // the injected faults may kill the greeting itself
+			}
+			defer cli.Close()
+			iut := smartlightIUT()
+			for r := 0; r < 3; r++ {
+				if _, err := cli.Run(Request{
+					Model:   "smartlight",
+					Purpose: models.SmartLightGoal,
+					Mode:    "strict",
+					Seed:    int64(k + 1),
+				}, iut); err != nil {
+					return // chaos broke the session; the daemon's health is asserted below
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("daemon must serve a clean session after chaos: %v", err)
+	}
+	defer cli.Close()
+	info, err := cli.Synthesize("smartlight", models.SmartLightGoal, "strict")
+	if err != nil {
+		t.Fatalf("clean request after chaos: %v", err)
+	}
+	if !info.Winnable {
+		t.Fatalf("clean request after chaos returned %+v", info)
+	}
+	st, err := cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sessions.PanicsRecovered != 0 {
+		t.Fatalf("chaos must not panic any handler, recovered %d", st.Sessions.PanicsRecovered)
+	}
+}
+
+// TestSessionGarbageClosesCleanly pins what a single garbage line costs: a
+// raw peer that sends protocol trash gets its session closed (the framing
+// is untrustworthy) without disturbing the daemon.
+func TestSessionGarbageClosesCleanly(t *testing.T) {
+	s := startService(t, Options{MaxSessions: 4})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 4096)
+	if _, err := conn.Read(buf); err != nil { // hello
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("#!garbage$%&\n")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("garbage must close the session, got another frame")
+	}
+
+	// The daemon is unharmed: a clean session works.
+	cli, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Stats(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,12 @@ var ErrBusy = errors.New("service: busy")
 // ErrDraining reports that the daemon is shutting down.
 var ErrDraining = errors.New("service: draining")
 
+// ErrDeadline reports that the request's deadline (its deadline_ms or the
+// server's -request-timeout default) expired before the result was ready.
+// Transient by design: the canceled solve is never cached, so a retry —
+// possibly without a deadline — starts fresh.
+var ErrDeadline = errors.New("service: deadline exceeded")
+
 // Client is one control-API session.
 type Client struct {
 	conn net.Conn
@@ -34,9 +40,19 @@ type Client struct {
 // Dial opens a session and consumes the greeting. A full daemon answers
 // with ErrBusy, a stopping one with ErrDraining.
 func Dial(addr string) (*Client, error) {
+	return DialWith(addr, nil)
+}
+
+// DialWith opens a session like Dial but routes the raw connection through
+// wrap first — the hook fault-injection wrappers (internal/faultconn) and
+// instrumentation attach to. A nil wrap is plain Dial.
+func DialWith(addr string, wrap func(net.Conn) net.Conn) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	if wrap != nil {
+		conn = wrap(conn)
 	}
 	c := &Client{conn: conn, r: bufio.NewReader(conn), enc: json.NewEncoder(conn)}
 	line, err := c.r.ReadBytes('\n')
@@ -104,10 +120,22 @@ func (c *Client) do(req *Request, iut tiots.IUT) (*Response, error) {
 			return nil, err
 		}
 		if resp.Error != "" {
+			if resp.ErrorKind == "deadline" {
+				// Typed so callers can retry on errors.Is(err, ErrDeadline).
+				return &resp, fmt.Errorf("%w: %s", ErrDeadline, resp.Error)
+			}
 			return &resp, fmt.Errorf("service: %s", resp.Error)
 		}
 		return &resp, nil
 	}
+}
+
+// Do sends one request and returns its response, hosting iut inline when
+// the daemon drives wire frames (nil iut: frames are a protocol error).
+// The typed escape hatch for requests the convenience wrappers do not
+// cover — deadline-carrying synthesize calls, chaos probes.
+func (c *Client) Do(req Request, iut tiots.IUT) (*Response, error) {
+	return c.do(&req, iut)
 }
 
 // RawRoundTrip sends one pre-encoded request line and returns the raw

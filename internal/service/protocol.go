@@ -49,6 +49,12 @@ type Request struct {
 	Coverage string `json:"coverage,omitempty"`
 	Mutants  int    `json:"mutants,omitempty"`
 	Workers  int    `json:"workers,omitempty"`
+	// DeadlineMS bounds this request's wall-clock in milliseconds (0 = the
+	// server's -request-timeout default, which itself defaults to none).
+	// An expired deadline cancels the request's in-flight solve, answers
+	// with a typed "deadline" error (Response.ErrorKind) and leaves the
+	// session usable; the canceled solve is never cached.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // Response is one control-API reply (or the session greeting).
@@ -59,6 +65,11 @@ type Response struct {
 	Event string `json:"event"`
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// ErrorKind types machine-actionable failures: "deadline" (the request
+	// deadline expired — retryable), "budget" (solver resource budget
+	// exhausted), "panic" (recovered internal panic). Empty for plain
+	// validation errors.
+	ErrorKind string `json:"error_kind,omitempty"`
 
 	Synth    *SynthInfo    `json:"synth,omitempty"`
 	Run      *RunInfo      `json:"run,omitempty"`
@@ -134,14 +145,21 @@ type CacheStats struct {
 	CompiledBytes int64 `json:"compiled_bytes"`
 }
 
-// SessionStats are the session-layer counters.
+// SessionStats are the session-layer counters. Timeouts counts requests
+// answered with the "deadline" error kind, Cancellations solves aborted
+// because every waiter withdrew, PanicsRecovered panics turned into error
+// responses (session handlers and solve goroutines combined) — a healthy
+// daemon keeps the latter at zero.
 type SessionStats struct {
-	Active   int64 `json:"active"`
-	Peak     int64 `json:"peak"`
-	Total    int64 `json:"total"`
-	Busy     int64 `json:"busy"` // connections rejected with the busy event
-	Requests int64 `json:"requests"`
-	TestRuns int64 `json:"test_runs"` // individual strategy-vs-IUT executions
+	Active          int64 `json:"active"`
+	Peak            int64 `json:"peak"`
+	Total           int64 `json:"total"`
+	Busy            int64 `json:"busy"` // connections rejected with the busy event
+	Requests        int64 `json:"requests"`
+	TestRuns        int64 `json:"test_runs"` // individual strategy-vs-IUT executions
+	Timeouts        int64 `json:"timeouts"`
+	Cancellations   int64 `json:"cancellations"`
+	PanicsRecovered int64 `json:"panics_recovered"`
 }
 
 // SolverStats aggregate game.Stats over every solve the service ran. The

@@ -45,6 +45,11 @@ type Options struct {
 	Solver game.Options
 	// Scale is ticks per model time unit (default tiots.Scale).
 	Scale int64
+	// RequestTimeout bounds every request's wall-clock unless the request
+	// carries its own deadline_ms (0 = no default bound). Expiry cancels
+	// the in-flight solve, answers with a typed "deadline" error and keeps
+	// the session usable.
+	RequestTimeout time.Duration
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -85,6 +90,8 @@ type Service struct {
 	sessBusy   atomic.Int64
 	requests   atomic.Int64
 	testRuns   atomic.Int64
+	timeouts   atomic.Int64 // requests answered with the "deadline" error kind
+	sessPanics atomic.Int64 // request handler panics recovered into responses
 
 	solves             atomic.Int64
 	skeletonHits       atomic.Int64
@@ -297,8 +304,10 @@ func (s *Service) noteSolve(st game.Stats) {
 // prime the cache for later synthesize/run requests of the same purposes)
 // and serializes the actual solves on the model's mutex — game.Batch is
 // single-threaded, and campaigns share the model's batch to share its
-// explored core skeleton.
-func (s *Service) solveVia(me *modelEntry) func(campaign.SolveKey, func() (*game.Result, error)) (*game.Result, error) {
+// explored core skeleton. done is the requester's withdrawal signal (the
+// request deadline); the cache hands the solve its own cancel channel,
+// which closes only when every waiting requester has withdrawn.
+func (s *Service) solveVia(me *modelEntry, done <-chan struct{}) func(campaign.SolveKey, func() (*game.Result, error)) (*game.Result, error) {
 	return func(key campaign.SolveKey, solve func() (*game.Result, error)) (*game.Result, error) {
 		ck := cacheKey{
 			model:   me.hash,
@@ -307,9 +316,11 @@ func (s *Service) solveVia(me *modelEntry) func(campaign.SolveKey, func() (*game
 			edge:    key.EdgeID,
 			coop:    key.Cooperative,
 		}
-		return s.cache.get(ck, func() (*game.Result, error) {
+		return s.cache.get(ck, done, func(cancel <-chan struct{}) (*game.Result, error) {
 			me.solveMu.Lock()
 			defer me.solveMu.Unlock()
+			me.batch.SetCancel(cancel)
+			defer me.batch.SetCancel(nil)
 			res, err := solve()
 			if err == nil {
 				s.noteSolve(res.Stats)
@@ -322,8 +333,10 @@ func (s *Service) solveVia(me *modelEntry) func(campaign.SolveKey, func() (*game
 // synthesize resolves a purpose to a strategy through the cache. sig is
 // the purpose's extrapolation signature (computed once by the caller, who
 // also reports it); mode is "auto" (strict first, cooperative fallback),
-// "strict" or "cooperative".
-func (s *Service) synthesize(me *modelEntry, f *tctl.Formula, sig, mode string) (*game.Result, error) {
+// "strict" or "cooperative". done, when non-nil, withdraws this requester
+// from the solve (ErrDeadline); the solve itself is canceled only when its
+// last waiter withdraws.
+func (s *Service) synthesize(me *modelEntry, f *tctl.Formula, sig, mode string, done <-chan struct{}) (*game.Result, error) {
 	solve := func(coop bool) (*game.Result, error) {
 		key := cacheKey{
 			model:   me.hash,
@@ -332,9 +345,11 @@ func (s *Service) synthesize(me *modelEntry, f *tctl.Formula, sig, mode string) 
 			edge:    -1,
 			coop:    coop,
 		}
-		return s.cache.get(key, func() (*game.Result, error) {
+		return s.cache.get(key, done, func(cancel <-chan struct{}) (*game.Result, error) {
 			me.solveMu.Lock()
 			defer me.solveMu.Unlock()
+			me.batch.SetCancel(cancel)
+			defer me.batch.SetCancel(nil)
 			res, err := me.batch.Solve(f, coop)
 			if err == nil {
 				s.noteSolve(res.Stats)
@@ -364,12 +379,15 @@ func (s *Service) StatsSnapshot() *Stats {
 	st := &Stats{
 		Cache: s.cache.stats(),
 		Sessions: SessionStats{
-			Active:   s.sessActive.Load(),
-			Peak:     s.sessPeak.Load(),
-			Total:    s.sessTotal.Load(),
-			Busy:     s.sessBusy.Load(),
-			Requests: s.requests.Load(),
-			TestRuns: s.testRuns.Load(),
+			Active:          s.sessActive.Load(),
+			Peak:            s.sessPeak.Load(),
+			Total:           s.sessTotal.Load(),
+			Busy:            s.sessBusy.Load(),
+			Requests:        s.requests.Load(),
+			TestRuns:        s.testRuns.Load(),
+			Timeouts:        s.timeouts.Load(),
+			Cancellations:   s.cache.canceled.Load(),
+			PanicsRecovered: s.sessPanics.Load() + s.cache.panics.Load(),
 		},
 		Solver: SolverStats{
 			Solves:             s.solves.Load(),

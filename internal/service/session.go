@@ -15,8 +15,10 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -28,6 +30,13 @@ import (
 	"tigatest/internal/tiots"
 )
 
+// Error kinds on failed responses (Response.ErrorKind).
+const (
+	kindDeadline = "deadline"
+	kindBudget   = "budget"
+	kindPanic    = "panic"
+)
+
 // session is one control connection.
 type session struct {
 	s    *Service
@@ -37,6 +46,13 @@ type session struct {
 
 	mu     sync.Mutex
 	active bool // a request is being handled right now
+
+	// dirty marks the session's framing as untrustworthy (an inline run's
+	// wire stream broke mid-frame): the current response is still written,
+	// then the serve loop closes the connection instead of decoding
+	// whatever half-frame the peer left behind. Only the serve goroutine
+	// touches it.
+	dirty bool
 }
 
 func newSession(s *Service, conn net.Conn) *session {
@@ -100,10 +116,10 @@ func (ss *session) serve() {
 		}
 		ss.beginRequest()
 		ss.s.requests.Add(1)
-		resp := ss.handle(&req)
+		resp := ss.dispatch(&req)
 		err := ss.enc.Encode(resp)
 		ss.endRequest()
-		if err != nil || ss.s.Draining() {
+		if err != nil || ss.dirty || ss.s.Draining() {
 			return
 		}
 	}
@@ -113,23 +129,92 @@ func errResp(format string, args ...any) *Response {
 	return &Response{Event: "result", Error: fmt.Sprintf(format, args...)}
 }
 
-// handle dispatches one request.
-func (ss *session) handle(req *Request) *Response {
+// fired reports whether a done channel has closed (nil = never).
+func fired(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// isTimeoutErr reports whether err is (or wraps) a network timeout — the
+// shape an expired connection read deadline surfaces as.
+func isTimeoutErr(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// solveErrResp types a failed solve for the client: deadline expiries and
+// cancellations map to the retryable "deadline" kind, resource exhaustion
+// to "budget"; anything else stays a plain error.
+func solveErrResp(err error) *Response {
+	switch {
+	case errors.Is(err, ErrDeadline), errors.Is(err, game.ErrCanceled):
+		return &Response{Event: "result", Error: err.Error(), ErrorKind: kindDeadline}
+	case errors.Is(err, game.ErrBudget):
+		return &Response{Event: "result", Error: "solve: " + err.Error(), ErrorKind: kindBudget}
+	default:
+		return errResp("solve: %v", err)
+	}
+}
+
+// dispatch runs one request under its deadline — the request's deadline_ms,
+// else the service's RequestTimeout default — and recovers handler panics
+// into typed error responses (one request may die; the daemon and even the
+// session must not). The expired deadline does two things: it withdraws the
+// request from any solve it is waiting on (the done channel threaded into
+// the cache), and it bounds the connection reads of an inline run (the
+// read deadline), so neither a slow game nor a stalled peer can pin the
+// session slot.
+func (ss *session) dispatch(req *Request) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			ss.s.sessPanics.Add(1)
+			ss.s.logf("service: panic handling op %q: %v\n%s", req.Op, r, debug.Stack())
+			resp = &Response{Event: "result", Error: fmt.Sprintf("internal error: %v", r), ErrorKind: kindPanic}
+		}
+		if resp != nil && resp.ErrorKind == kindDeadline {
+			ss.s.timeouts.Add(1)
+		}
+	}()
+	d := time.Duration(req.DeadlineMS) * time.Millisecond
+	if d <= 0 {
+		d = ss.s.opts.RequestTimeout
+	}
+	var done chan struct{}
+	if d > 0 {
+		done = make(chan struct{})
+		timer := time.AfterFunc(d, func() { close(done) })
+		defer timer.Stop()
+		_ = ss.conn.SetReadDeadline(time.Now().Add(d))
+		defer func() { _ = ss.conn.SetReadDeadline(time.Time{}) }()
+	}
+	return ss.handle(req, done)
+}
+
+// handle dispatches one request. done, when non-nil, is the request's
+// deadline signal (already armed by dispatch).
+func (ss *session) handle(req *Request, done <-chan struct{}) *Response {
 	switch req.Op {
 	case "stats":
 		return &Response{Event: "result", OK: true, Stats: ss.s.StatsSnapshot()}
 	case "synthesize":
-		_, _, info, resp := ss.resolve(req)
+		_, _, info, resp := ss.resolve(req, done)
 		if resp != nil {
 			return resp
 		}
 		return &Response{Event: "result", OK: true, Synth: info}
 	case "strategy":
-		return ss.strategy(req)
+		return ss.strategy(req, done)
 	case "run":
-		return ss.run(req)
+		return ss.run(req, done)
 	case "campaign":
-		return ss.campaign(req)
+		return ss.campaign(req, done)
 	default:
 		return errResp("unknown op %q (use synthesize, strategy, run, campaign or stats)", req.Op)
 	}
@@ -138,7 +223,7 @@ func (ss *session) handle(req *Request) *Response {
 // resolve looks up the model, parses the purpose and synthesizes (through
 // the strategy cache). A non-nil Response reports the failure; otherwise
 // the SynthInfo describes the outcome, winnable or not.
-func (ss *session) resolve(req *Request) (*modelEntry, *game.Result, *SynthInfo, *Response) {
+func (ss *session) resolve(req *Request, done <-chan struct{}) (*modelEntry, *game.Result, *SynthInfo, *Response) {
 	me, ok := ss.s.modelByName(req.Model)
 	if !ok {
 		return nil, nil, nil, errResp("unknown model %q", req.Model)
@@ -148,9 +233,9 @@ func (ss *session) resolve(req *Request) (*modelEntry, *game.Result, *SynthInfo,
 		return nil, nil, nil, errResp("purpose: %v", err)
 	}
 	sig := game.ExtrapolationSignature(me.sys, f)
-	res, err := ss.s.synthesize(me, f, sig, req.Mode)
+	res, err := ss.s.synthesize(me, f, sig, req.Mode, done)
 	if err != nil {
-		return nil, nil, nil, errResp("solve: %v", err)
+		return nil, nil, nil, solveErrResp(err)
 	}
 	mode := req.Mode
 	if mode == "" {
@@ -177,8 +262,8 @@ func (ss *session) resolve(req *Request) (*modelEntry, *game.Result, *SynthInfo,
 // can decode them against its own copy of the model and consult locally.
 // Compilation happens once per cached Result and is shared with every run
 // request on the same purpose.
-func (ss *session) strategy(req *Request) *Response {
-	_, res, info, resp := ss.resolve(req)
+func (ss *session) strategy(req *Request, done <-chan struct{}) *Response {
+	_, res, info, resp := ss.resolve(req, done)
 	if resp != nil {
 		return resp
 	}
@@ -202,8 +287,8 @@ func (ss *session) strategy(req *Request) *Response {
 
 // run synthesizes (through the cache) and executes the strategy against
 // the requested implementation.
-func (ss *session) run(req *Request) *Response {
-	me, res, info, resp := ss.resolve(req)
+func (ss *session) run(req *Request, done <-chan struct{}) *Response {
+	me, res, info, resp := ss.resolve(req, done)
 	if resp != nil {
 		return resp
 	}
@@ -212,6 +297,7 @@ func (ss *session) run(req *Request) *Response {
 	}
 
 	var factory campaign.IUTFactory
+	var wire *adapter.Client
 	switch req.IUT {
 	case "", "local":
 		factory = campaign.LocalIUT(me.impl, ss.s.opts.Scale, nil)
@@ -220,7 +306,9 @@ func (ss *session) run(req *Request) *Response {
 		// drives the adapter protocol through the session's shared
 		// decoder/encoder. One wire client serves every repeat (texec
 		// resets it per run; the per-repeat seed is forwarded first).
-		wire := adapter.ClientOn(ss.dec, ss.enc)
+		// Wire reads are bounded by the request deadline dispatch armed on
+		// the connection, so a stalled peer cannot pin the slot.
+		wire = adapter.ClientOn(ss.dec, ss.enc)
 		factory = func(seed int64) (tiots.IUT, func(), error) {
 			if err := wire.Seed(seed); err != nil {
 				return nil, nil, err
@@ -241,7 +329,7 @@ func (ss *session) run(req *Request) *Response {
 	}
 	runner := &campaign.Runner{
 		Strategy: consult,
-		Exec:     texec.Options{PlantProcs: me.plant, Scale: ss.s.opts.Scale},
+		Exec:     texec.Options{PlantProcs: me.plant, Scale: ss.s.opts.Scale, Cancel: done},
 	}
 	repeats := req.Repeats
 	if repeats <= 0 {
@@ -253,6 +341,20 @@ func (ss *session) run(req *Request) *Response {
 	}
 	tally := runner.RunCell(factory, repeats, seed)
 	ss.s.testRuns.Add(int64(repeats))
+
+	if wire != nil && wire.Err() != nil {
+		// The inline wire stream broke mid-run: a peer stall that hit the
+		// request deadline, or a vanished client. Either way the session's
+		// framing is gone — answer, then close (dirty).
+		ss.dirty = true
+		if isTimeoutErr(wire.Err()) || fired(done) {
+			return &Response{Event: "result", Error: "deadline exceeded during inline run", ErrorKind: kindDeadline}
+		}
+		return errResp("inline run: transport: %v", wire.Err())
+	}
+	if fired(done) {
+		return &Response{Event: "result", Error: "deadline exceeded during run", ErrorKind: kindDeadline}
+	}
 
 	run := &RunInfo{
 		Synth:   *info,
@@ -273,7 +375,7 @@ func (ss *session) run(req *Request) *Response {
 // batch (Service.solveVia): concurrent campaigns on one model pay each
 // goal's solve once — the second camper joins the first's in-flight solve
 // — and every solved goal stays warm for later synthesize/run requests.
-func (ss *session) campaign(req *Request) *Response {
+func (ss *session) campaign(req *Request, done <-chan struct{}) *Response {
 	me, ok := ss.s.modelByName(req.Model)
 	if !ok {
 		return errResp("unknown model %q", req.Model)
@@ -290,6 +392,8 @@ func (ss *session) campaign(req *Request) *Response {
 	if seed == 0 {
 		seed = 1
 	}
+	solver := ss.s.opts.Solver
+	solver.Cancel = done // planner-level polls; per-solve cancel comes from the cache
 	rep, err := campaign.Run(me.sys, me.env, campaign.Options{
 		Coverage: cov,
 		Plant:    me.plant,
@@ -297,12 +401,15 @@ func (ss *session) campaign(req *Request) *Response {
 		Workers:  req.Workers,
 		Repeats:  req.Repeats,
 		Seed:     seed,
-		Solver:   ss.s.opts.Solver,
-		Exec:     texec.Options{Scale: ss.s.opts.Scale},
+		Solver:   solver,
+		Exec:     texec.Options{Scale: ss.s.opts.Scale, Cancel: done},
 		Batch:    me.batch,
-		SolveVia: ss.s.solveVia(me),
+		SolveVia: ss.s.solveVia(me, done),
 	})
 	if err != nil {
+		if errors.Is(err, ErrDeadline) || errors.Is(err, game.ErrCanceled) {
+			return &Response{Event: "result", Error: "campaign: " + err.Error(), ErrorKind: kindDeadline}
+		}
 		return errResp("campaign: %v", err)
 	}
 	var buf bytes.Buffer

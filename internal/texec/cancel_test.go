@@ -1,0 +1,26 @@
+package texec
+
+import (
+	"testing"
+
+	"tigatest/internal/models"
+)
+
+// TestRunCanceled: a fired cancellation hook ends the run before the next
+// strategy decision with an inconclusive "canceled" verdict — nobody is
+// blamed for a run the deadline cut short.
+func TestRunCanceled(t *testing.T) {
+	spec, strat := solveLight(t)
+	cancel := make(chan struct{})
+	close(cancel)
+	res := Run(strat, lightIUT(spec, nil), Options{
+		PlantProcs: models.SmartLightPlant(spec),
+		Cancel:     cancel,
+	})
+	if res.Verdict != Inconclusive || res.Reason != "canceled" {
+		t.Fatalf("want inconclusive (canceled), got %s", res)
+	}
+	if res.Steps != 0 {
+		t.Fatalf("pre-fired cancel must stop before the first decision, took %d steps", res.Steps)
+	}
+}

@@ -54,6 +54,11 @@ type Options struct {
 	Scale int64
 	// MaxSteps bounds the number of strategy decisions (default 10000).
 	MaxSteps int
+	// Cancel, when non-nil, aborts the run cooperatively: Run polls it
+	// before every strategy decision and returns an inconclusive
+	// "canceled" verdict once the channel closes (an expired request
+	// deadline in the service layer, SIGINT in the CLIs).
+	Cancel <-chan struct{}
 }
 
 // Result of one test run.
@@ -132,6 +137,13 @@ func Run(strat game.Consultant, iut tiots.IUT, opts Options) Result {
 	}
 
 	for steps := 0; steps < opts.MaxSteps; steps++ {
+		if opts.Cancel != nil {
+			select {
+			case <-opts.Cancel:
+				return inconclusive("canceled", steps)
+			default:
+			}
+		}
 		if strat.InGoal(node, val, scale) {
 			return Result{Verdict: Pass, Reason: "test purpose satisfied", Trace: trace, Steps: steps}
 		}
