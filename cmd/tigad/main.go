@@ -17,6 +17,16 @@
 //	tigad -listen 127.0.0.1:0               # ephemeral port (printed on stdout)
 //	tigad -models smartlight -lep-n 3       # add the LEP instance as model "lep"
 //	tigad -file extra.tga -max-sessions 256
+//	tigad -metrics-addr 127.0.0.1:9699      # Prometheus /metrics endpoint
+//
+// Fleet mode: N daemons with the same model set become one logical
+// strategy cache. Every member lists the full fleet (itself included)
+// via -peers (static) or -peers-file (watched roster file); the owner of
+// each strategy key — consistent hashing over the alive members — solves
+// it, everyone else forwards the miss and caches the compiled answer:
+//
+//	tigad -listen 10.0.0.1:7699 -peers 10.0.0.1:7699,10.0.0.2:7699,10.0.0.3:7699
+//	tigad -listen 10.0.0.2:7699 -peers-file fleet.json   # {"members":[{"addr":...}]}
 //
 // Talk to it with cmd/tigaload (load generation), or by hand:
 //
@@ -27,11 +37,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"tigatest/internal/cluster"
 	"tigatest/internal/dsl"
 	"tigatest/internal/game"
 	"tigatest/internal/models"
@@ -49,6 +63,13 @@ func main() {
 		propWorkers = flag.Int("prop-workers", 1, "propagation workers; > 1 trades byte-identical responses for solve speed")
 		reqTimeout  = flag.Duration("request-timeout", 0, "default per-request deadline (0 = none); requests override with deadline_ms")
 		quiet       = flag.Bool("quiet", false, "suppress operational logging")
+
+		peers         = flag.String("peers", "", "fleet mode: comma-separated member addresses host:port[@weight], this daemon included")
+		peersFile     = flag.String("peers-file", "", "fleet mode: JSON roster file {\"members\":[{\"addr\":\"host:port\",\"weight\":n}]}, polled for join/leave")
+		advertise     = flag.String("advertise", "", "address this daemon is known by in the fleet (default: -listen; required with -listen :0)")
+		peerTimeout   = flag.Duration("peer-timeout", 2*time.Second, "bound on one peer forward or health probe")
+		probeInterval = flag.Duration("probe-interval", time.Second, "peer health-probe interval")
+		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus metrics on http://ADDR/metrics (empty = off)")
 	)
 	flag.Var(&files, "file", "additional model file in the tigatest DSL (repeatable)")
 	flag.Parse()
@@ -88,16 +109,69 @@ func main() {
 		must(svc.AddModel(f.Sys, f.ParseEnv(), nil))
 	}
 
+	if *peers != "" && *peersFile != "" {
+		fatal(fmt.Errorf("-peers and -peers-file are mutually exclusive"))
+	}
+
 	must(svc.Listen(*listen))
 	// The chosen address goes to stdout so scripts using -listen :0 can
 	// pick it up.
 	fmt.Printf("tigad: listening on %s\n", svc.Addr())
 
+	var tracker *cluster.Tracker
+	if *peers != "" || *peersFile != "" {
+		self := *advertise
+		if self == "" {
+			self = *listen
+		}
+		if host, port, err := net.SplitHostPort(self); err != nil || port == "0" || port == "" || host == "" {
+			fatal(fmt.Errorf("fleet mode needs a concrete advertise address (got %q); set -advertise with -listen :0", self))
+		}
+		var store cluster.Store
+		if *peers != "" {
+			ms, err := cluster.ParsePeers(*peers)
+			must(err)
+			store = cluster.StaticStore(ms)
+		} else {
+			store = cluster.FileStore{Path: *peersFile}
+		}
+		tr, err := cluster.NewTracker(cluster.Member{Addr: self}, store, cluster.TrackerOptions{
+			ProbeInterval: *probeInterval,
+		})
+		must(err)
+		must(svc.EnableCluster(service.ClusterOptions{
+			Tracker:        tr,
+			ForwardTimeout: *peerTimeout,
+		}))
+		tr.Start()
+		tracker = tr
+		fmt.Fprintf(os.Stderr, "tigad: fleet member %s (%d configured)\n", self, len(tr.Configured()))
+	}
+
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		must(err)
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = service.WriteMetrics(w, svc.StatsSnapshot())
+		})
+		go func() { _ = http.Serve(mln, mux) }()
+		fmt.Printf("tigad: metrics on http://%s/metrics\n", mln.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	<-sig
 	fmt.Fprintln(os.Stderr, "tigad: draining")
+	// Drain flips the draining flag first, so peer forwards are refused
+	// (typed "draining" — the forwarder solves locally) from the first
+	// instant of shutdown, before in-flight local sessions finish; the
+	// tracker stops probing only after the last session is gone.
 	svc.Drain()
+	if tracker != nil {
+		tracker.Close()
+	}
 
 	out, err := json.MarshalIndent(svc.StatsSnapshot(), "", "  ")
 	must(err)

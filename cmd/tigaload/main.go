@@ -17,10 +17,18 @@
 // which is what lets CI enforce "zero failed sessions, a warm cache and a
 // live compiled path" on a smoke run.
 //
+// Fleet mode (-peers) round-robins sessions across N daemons: every
+// (re)dial rotates to the next member, so a member that drains mid-load
+// costs a redial, never a failed request. The report gains per-peer
+// request counts, latency percentiles and cluster counters, plus the
+// fleet-wide forwarded_hits aggregate (requests served with peer-fetched
+// strategy material); floors like -min-cache-hits apply to the sums.
+//
 // Usage:
 //
 //	tigaload -addr 127.0.0.1:7699 -sessions 8 -requests 4
 //	tigaload -addr 127.0.0.1:7699 -iut local -json BENCH_service.json -min-cache-hits 1
+//	tigaload -peers 127.0.0.1:7699,127.0.0.1:7700,127.0.0.1:7701 -min-forwarded-hits 1
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"net"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +56,8 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7699", "tigad control-API address")
+		peersCSV = flag.String("peers", "", "fleet mode: comma-separated daemon addresses; sessions and redials round-robin across them (overrides -addr)")
+		minFwd   = flag.Int64("min-forwarded-hits", 0, "fail unless the fleet reports at least this many peer-forwarded hits in total")
 		sessions = flag.Int("sessions", 8, "concurrent sessions (K)")
 		requests = flag.Int("requests", 4, "run requests per session")
 		modelN   = flag.String("model", "smartlight", "built-in model: smartlight, traingate or lep")
@@ -77,13 +88,32 @@ func main() {
 	}
 	impl := model.ExtractPlant(sys, plant, "Stub")
 
+	// targets is the dial rotation: the fleet members in -peers order, or
+	// just -addr. Every (re)dial advances rr, so sessions spread across the
+	// fleet and a redial after a member drains lands on the next one.
+	targets := []string{*addr}
+	if *peersCSV != "" {
+		targets = targets[:0]
+		for _, p := range strings.Split(*peersCSV, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				targets = append(targets, p)
+			}
+		}
+		if len(targets) == 0 {
+			fatal(fmt.Errorf("-peers lists no addresses"))
+		}
+	}
+	var rr atomic.Int64
+
 	lat := make([][]time.Duration, *sessions)
+	var latMu sync.Mutex
+	peerLat := map[string][]time.Duration{} // request latency by serving peer
 	var failedSessions, failedRequests, pass, failV, incon, dialRetries atomic.Int64
 	var localRuns, localPass, compiledBytes atomic.Int64
 	var timeouts, retried, chaosDials atomic.Int64
 	// Each (re)dial under chaos draws a fresh derived seed, so redialed
 	// sessions replay a different (still deterministic) fault schedule.
-	sessionDial := func() (*service.Client, error) {
+	sessionDial := func() (*service.Client, string, error) {
 		var wrap func(net.Conn) net.Conn
 		if *chaosSeed != 0 {
 			cseed := deriveSeed(*chaosSeed, int(chaosDials.Add(1)))
@@ -97,7 +127,7 @@ func main() {
 				})
 			}
 		}
-		return dialRetry(*addr, *wait, wrap, &dialRetries)
+		return fleetDial(targets, &rr, *wait, wrap, &dialRetries)
 	}
 	var wg sync.WaitGroup
 	t0 := time.Now()
@@ -105,11 +135,20 @@ func main() {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			cli, err := sessionDial()
+			cli, cur, err := sessionDial()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "tigaload: session %d: %v\n", k, err)
 				failedSessions.Add(1)
 				return
+			}
+			// dial is runWithRetry's redial hook; it runs synchronously in
+			// this goroutine, so tracking the serving peer in cur is safe.
+			dial := func() (*service.Client, error) {
+				fresh, a, err := sessionDial()
+				if err == nil {
+					cur = a
+				}
+				return fresh, err
 			}
 			defer func() { cli.Close() }()
 			var iut tiots.IUT
@@ -127,9 +166,13 @@ func main() {
 					DeadlineMS: reqTimeout.Milliseconds(),
 				}
 				start := time.Now()
-				fresh, run, err := runWithRetry(cli, req, iut, sessionDial, *maxRetries, &timeouts, &retried)
+				fresh, run, err := runWithRetry(cli, req, iut, dial, *maxRetries, &timeouts, &retried)
 				cli = fresh
-				lat[k] = append(lat[k], time.Since(start))
+				d := time.Since(start)
+				lat[k] = append(lat[k], d)
+				latMu.Lock()
+				peerLat[cur] = append(peerLat[cur], d)
+				latMu.Unlock()
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "tigaload: session %d request %d: %v\n", k, r, err)
 					failedRequests.Add(1)
@@ -158,18 +201,50 @@ func main() {
 	wg.Wait()
 	wall := time.Since(t0)
 
-	// Final stats over a fresh session (slots are free now). Always a clean
-	// connection — the counters must be readable even when chaos wrecked
-	// every load session.
+	// Final stats over fresh sessions (slots are free now), one per fleet
+	// member. Always clean connections — the counters must be readable even
+	// when chaos wrecked every load session. A member that drained away
+	// mid-load reports no stats but keeps its latency tally.
 	var stats *service.Stats
-	if cli, err := dialRetry(*addr, *wait, nil, &dialRetries); err == nil {
-		stats, err = cli.Stats()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tigaload: stats: %v\n", err)
+	var sumHits, sumCompiled, forwardedHits int64
+	var peerReports []peerReport
+	for _, target := range targets {
+		var st *service.Stats
+		if cli, err := dialRetry(target, *wait, nil, &dialRetries); err == nil {
+			st, err = cli.Stats()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tigaload: stats %s: %v\n", target, err)
+			}
+			cli.Close()
+		} else {
+			fmt.Fprintf(os.Stderr, "tigaload: stats session %s: %v\n", target, err)
 		}
-		cli.Close()
-	} else {
-		fmt.Fprintf(os.Stderr, "tigaload: stats session: %v\n", err)
+		if st != nil {
+			if stats == nil {
+				stats = st
+			}
+			sumHits += st.Cache.Hits
+			sumCompiled += st.Cache.CompiledHits
+			if st.Cluster != nil {
+				forwardedHits += st.Cluster.PeerHits
+			}
+		}
+		if len(targets) > 1 {
+			latMu.Lock()
+			pl := append([]time.Duration(nil), peerLat[target]...)
+			latMu.Unlock()
+			sort.Slice(pl, func(i, j int) bool { return pl[i] < pl[j] })
+			pr := peerReport{
+				Addr:     target,
+				Requests: len(pl),
+				Latency:  latencies{P50: percentile(pl, 50), P90: percentile(pl, 90), P99: percentile(pl, 99), Max: percentile(pl, 100)},
+				Stats:    st,
+			}
+			if st != nil && st.Cluster != nil {
+				pr.ForwardedHits = st.Cluster.PeerHits
+			}
+			peerReports = append(peerReports, pr)
+		}
 	}
 
 	var all []time.Duration
@@ -179,7 +254,7 @@ func main() {
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 
 	rep := report{
-		Addr:               *addr,
+		Addr:               strings.Join(targets, ","),
 		Model:              sys.Name,
 		Purpose:            *purpose,
 		IUT:                *iutKind,
@@ -202,7 +277,9 @@ func main() {
 			P50: percentile(all, 50), P90: percentile(all, 90),
 			P99: percentile(all, 99), Max: percentile(all, 100),
 		},
-		Stats: stats,
+		Stats:         stats,
+		Peers:         peerReports,
+		ForwardedHits: forwardedHits,
 	}
 	if wall > 0 {
 		rep.ThroughputRPS = float64(len(all)) / wall.Seconds()
@@ -222,6 +299,16 @@ func main() {
 		fmt.Printf("  compiled: %d hits, %d bytes shipped; %d/%d local compiled runs passed\n",
 			stats.Cache.CompiledHits, stats.Cache.CompiledBytes, rep.LocalPass, rep.LocalRuns)
 	}
+	for _, pr := range peerReports {
+		line := fmt.Sprintf("  peer %s: %d requests, p50=%.1fms p99=%.1fms", pr.Addr, pr.Requests, pr.Latency.P50, pr.Latency.P99)
+		if pr.Stats != nil && pr.Stats.Cluster != nil {
+			c := pr.Stats.Cluster
+			line += fmt.Sprintf("; forwarded_hits=%d forwards=%d serves=%d fallbacks=%d", c.PeerHits, c.Forwards, c.PeerServes, c.OwnerLocalFallbacks)
+		} else if pr.Stats == nil {
+			line += " (unreachable)"
+		}
+		fmt.Println(line)
+	}
 
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(&rep, "", "  ")
@@ -239,10 +326,12 @@ func main() {
 		fatal(fmt.Errorf("%d sessions / %d requests failed", rep.FailedSessions, rep.FailedRequests))
 	case stats == nil:
 		fatal(fmt.Errorf("could not fetch service stats"))
-	case stats.Cache.Hits < *minHits:
-		fatal(fmt.Errorf("cache hits %d below the -min-cache-hits floor %d", stats.Cache.Hits, *minHits))
-	case stats.Cache.CompiledHits < *minComp:
-		fatal(fmt.Errorf("compiled hits %d below the -min-compiled-hits floor %d", stats.Cache.CompiledHits, *minComp))
+	case sumHits < *minHits:
+		fatal(fmt.Errorf("cache hits %d below the -min-cache-hits floor %d", sumHits, *minHits))
+	case sumCompiled < *minComp:
+		fatal(fmt.Errorf("compiled hits %d below the -min-compiled-hits floor %d", sumCompiled, *minComp))
+	case forwardedHits < *minFwd:
+		fatal(fmt.Errorf("forwarded hits %d below the -min-forwarded-hits floor %d", forwardedHits, *minFwd))
 	}
 }
 
@@ -290,6 +379,15 @@ type latencies struct {
 	Max float64 `json:"max"`
 }
 
+// peerReport is one fleet member's slice of the load (fleet mode only).
+type peerReport struct {
+	Addr          string         `json:"addr"`
+	Requests      int            `json:"requests"`
+	Latency       latencies      `json:"latency_ms"`
+	ForwardedHits int64          `json:"forwarded_hits"`
+	Stats         *service.Stats `json:"service_stats,omitempty"`
+}
+
 type report struct {
 	Addr               string         `json:"addr"`
 	Model              string         `json:"model"`
@@ -313,6 +411,8 @@ type report struct {
 	ThroughputRPS      float64        `json:"throughput_rps"`
 	WallMS             int64          `json:"wall_ms"`
 	Stats              *service.Stats `json:"service_stats,omitempty"`
+	Peers              []peerReport   `json:"peers,omitempty"`
+	ForwardedHits      int64          `json:"forwarded_hits,omitempty"`
 }
 
 // percentile returns the q-th percentile of the sorted slice in
@@ -374,6 +474,27 @@ func deriveSeed(seed int64, i int) int64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return int64(z ^ (z >> 31))
+}
+
+// fleetDial dials the next fleet member in round-robin order, retrying
+// across the rotation until the window closes. A member that is down,
+// draining or busy costs one attempt and the retry lands on the next
+// member — this is what makes a SIGTERM'd daemon mid-load invisible to
+// the request stream. Returns the address actually connected to.
+func fleetDial(targets []string, rr *atomic.Int64, window time.Duration, wrap func(net.Conn) net.Conn, retries *atomic.Int64) (*service.Client, string, error) {
+	deadline := time.Now().Add(window)
+	for {
+		target := targets[int(rr.Add(1)-1)%len(targets)]
+		cli, err := service.DialWith(target, wrap)
+		if err == nil {
+			return cli, target, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, "", err
+		}
+		retries.Add(1)
+		time.Sleep(50 * time.Millisecond)
+	}
 }
 
 // dialRetry dials until the window closes, retrying connection refusals

@@ -1,0 +1,176 @@
+// Package cluster turns N tigad daemons into one logical strategy cache:
+// a membership layer (configuration stores with join/leave watch semantics
+// plus a health-checking Tracker) and a weighted consistent-hash ring that
+// assigns every strategy-cache key exactly one owning member. The service
+// layer consults the ring on each synthesize/strategy/run request and
+// forwards cache misses peer-to-peer to the owner, so each (model ×
+// purpose) game is solved once cluster-wide instead of once per host.
+//
+// The package is deliberately transport-free: it knows members, liveness
+// and ownership, never connections. Health probes and miss forwarding are
+// injected by the caller (internal/service provides both over the existing
+// line-JSON control protocol), which keeps the dependency arrow pointing
+// from the service to the cluster substrate and leaves the membership
+// layer reusable for the next step on this substrate — sharding the node
+// store and SCC propagation themselves.
+//
+// Concurrency: a Store is read-only after construction. The Tracker owns
+// all mutable state behind one mutex; its accessors return copies, and the
+// Changed channel carries level-triggered change notifications (coalesced,
+// never blocking).
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Member is one fleet member. ID is the stable identity keys hash against
+// (it defaults to Addr); Weight scales the member's share of the ring
+// (virtual-node count), so a box with twice the memory can own twice the
+// keys. Weight <= 0 is treated as 1.
+type Member struct {
+	ID     string `json:"id,omitempty"`
+	Addr   string `json:"addr"`
+	Weight int    `json:"weight,omitempty"`
+}
+
+// normalize fills defaulted fields.
+func (m Member) normalize() Member {
+	if m.ID == "" {
+		m.ID = m.Addr
+	}
+	if m.Weight <= 0 {
+		m.Weight = 1
+	}
+	return m
+}
+
+// Store is the configuration-store abstraction behind membership: Load
+// returns the configured member set. A static store loads once; a
+// watchable store (file- or poll-based) is re-loaded by the Tracker at its
+// poll interval, which is what gives the fleet join/leave semantics
+// without restarting daemons.
+type Store interface {
+	// Load returns the configured members (order-insensitive; the caller
+	// normalizes and sorts).
+	Load() ([]Member, error)
+	// Watchable reports whether Load can return different sets over time
+	// and should be polled.
+	Watchable() bool
+}
+
+// StaticStore is the fixed-peer-list backend (the -peers flag): the
+// configured set never changes, only liveness does.
+type StaticStore []Member
+
+// Load returns the static member list.
+func (s StaticStore) Load() ([]Member, error) {
+	out := make([]Member, len(s))
+	copy(out, s)
+	return out, nil
+}
+
+// Watchable reports false: a static list never changes.
+func (StaticStore) Watchable() bool { return false }
+
+// FileStore is the config-store backend: a JSON file holding the fleet
+// roster, polled for membership changes. Writing a new roster joins and
+// leaves members on every daemon watching the file — the
+// standalone-vs-clustered ConfigurationStore pattern with the store
+// being the file system (an etcd/zk-backed store implements the same two
+// methods).
+//
+// File format:
+//
+//	{"members": [{"addr": "10.0.0.1:7699", "weight": 2}, {"addr": "10.0.0.2:7699"}]}
+type FileStore struct {
+	Path string
+}
+
+// Load reads and parses the roster file.
+func (f FileStore) Load() ([]Member, error) {
+	data, err := os.ReadFile(f.Path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg struct {
+		Members []Member `json:"members"`
+	}
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("cluster: %s: %v", f.Path, err)
+	}
+	for i, m := range cfg.Members {
+		if m.Addr == "" {
+			return nil, fmt.Errorf("cluster: %s: member %d has no addr", f.Path, i)
+		}
+	}
+	return cfg.Members, nil
+}
+
+// Watchable reports true: the file is polled for join/leave changes.
+func (FileStore) Watchable() bool { return true }
+
+// ParsePeers parses a comma-separated peer list ("host:port[@weight],...")
+// into members — the -peers flag syntax. Weight defaults to 1.
+func ParsePeers(list string) ([]Member, error) {
+	var out []Member
+	for _, item := range strings.Split(list, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		m := Member{Addr: item}
+		if at := strings.LastIndexByte(item, '@'); at >= 0 {
+			w, err := strconv.Atoi(item[at+1:])
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("cluster: bad peer weight in %q", item)
+			}
+			m.Addr = item[:at]
+			m.Weight = w
+		}
+		if m.Addr == "" {
+			return nil, fmt.Errorf("cluster: empty peer address in %q", list)
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: no peers in %q", list)
+	}
+	return out, nil
+}
+
+// normalizeSet normalizes, deduplicates (by ID, first wins) and sorts a
+// member set — the canonical configured view every backend reduces to.
+func normalizeSet(in []Member) []Member {
+	seen := map[string]bool{}
+	out := make([]Member, 0, len(in))
+	for _, m := range in {
+		m = m.normalize()
+		if seen[m.ID] {
+			continue
+		}
+		seen[m.ID] = true
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// sameSet reports whether two canonical (normalized, sorted) member sets
+// are identical.
+func sameSet(a, b []Member) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,108 @@
+// Consistent-hash ownership: a weighted ring of virtual nodes assigns
+// every strategy-cache key exactly one owning member, deterministically
+// from the member set alone. Adding or removing one member moves only the
+// keys that member owned (plus the new member's share) — the property
+// that makes rebalancing on membership change cheap and predictable: a
+// peer going down reassigns its keys to the survivors, and its recovery
+// restores the exact previous assignment.
+
+package cluster
+
+import (
+	"sort"
+	"strconv"
+)
+
+// defaultVnodes is the number of ring points per unit of member weight.
+// 64 points per member keeps the ownership share within a few percent of
+// the weight ratio for fleets of practical size.
+const defaultVnodes = 64
+
+// ringPoint is one virtual node: a hash position owned by a member.
+type ringPoint struct {
+	hash   uint64
+	member int // index into Ring.members
+}
+
+// Ring is an immutable consistent-hash ring over a member set. Build one
+// per membership view (BuildRing is deterministic in the set, not the
+// input order) and consult Owner per key.
+type Ring struct {
+	members []Member
+	points  []ringPoint
+}
+
+// BuildRing constructs the ring. vnodesPerWeight <= 0 uses the default
+// (64 points per unit weight). The input is normalized, deduplicated and
+// sorted, so any ordering of the same member set builds the same ring.
+func BuildRing(members []Member, vnodesPerWeight int) *Ring {
+	if vnodesPerWeight <= 0 {
+		vnodesPerWeight = defaultVnodes
+	}
+	ms := normalizeSet(members)
+	r := &Ring{members: ms}
+	for i, m := range ms {
+		for v := 0; v < m.Weight*vnodesPerWeight; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   KeyHash(m.ID, strconv.Itoa(v)),
+				member: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (astronomically rare) break on member ID so the ring
+		// stays deterministic in the set.
+		return ms[r.points[a].member].ID < ms[r.points[b].member].ID
+	})
+	return r
+}
+
+// Size returns the number of members on the ring.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Members returns the ring's member set (canonical order). The slice is
+// shared; callers must not mutate it.
+func (r *Ring) Members() []Member { return r.members }
+
+// Owner returns the member owning keyHash: the first ring point at or
+// clockwise after the key's position. An empty ring returns a zero
+// Member (callers guard; a Tracker's alive set always contains self).
+func (r *Ring) Owner(keyHash uint64) Member {
+	if len(r.points) == 0 {
+		return Member{}
+	}
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= keyHash })
+	if idx == len(r.points) {
+		idx = 0
+	}
+	return r.members[r.points[idx].member]
+}
+
+// KeyHash hashes the parts into a ring position (64-bit FNV-1a with a
+// zero-byte separator between parts, so ("ab","c") and ("a","bc") differ).
+func KeyHash(parts ...string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime64
+		}
+		h *= prime64 // FNV-1a step for a 0 separator byte (XOR with 0 is identity)
+	}
+	return h
+}
+
+// StrategyKeyHash is the ownership key of one strategy-cache entry: the
+// model's structural content hash, the purpose's extrapolation signature,
+// its canonical rendering, and the requested game mode — the same content
+// address the service's strategy cache keys on, hashed onto the ring.
+func StrategyKeyHash(modelHash uint64, sig, purpose, mode string) uint64 {
+	return KeyHash(strconv.FormatUint(modelHash, 16), sig, purpose, mode)
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+func members(ids ...string) []Member {
+	out := make([]Member, len(ids))
+	for i, id := range ids {
+		out[i] = Member{ID: id, Addr: id}
+	}
+	return out
+}
+
+// TestRingDeterministic: the ring is a pure function of the member SET —
+// input order, duplicates and explicit-vs-defaulted fields do not matter.
+func TestRingDeterministic(t *testing.T) {
+	a := BuildRing(members("n1", "n2", "n3"), 0)
+	b := BuildRing(members("n3", "n1", "n2", "n1"), 0)
+	c := BuildRing([]Member{
+		{ID: "n2", Addr: "n2", Weight: 1},
+		{ID: "n1", Addr: "n1", Weight: 1},
+		{ID: "n3", Addr: "n3", Weight: 1},
+	}, 0)
+	for k := 0; k < 10000; k++ {
+		h := KeyHash("key", strconv.Itoa(k))
+		oa, ob, oc := a.Owner(h).ID, b.Owner(h).ID, c.Owner(h).ID
+		if oa != ob || oa != oc {
+			t.Fatalf("key %d: owners diverge across equivalent rings: %s %s %s", k, oa, ob, oc)
+		}
+	}
+}
+
+// TestRingRebalanceMovesOnlyLostKeys: removing one member must reassign
+// exactly the keys it owned; every other key keeps its owner. This is the
+// property that makes failure handover and recovery deterministic.
+func TestRingRebalanceMovesOnlyLostKeys(t *testing.T) {
+	full := BuildRing(members("n1", "n2", "n3"), 0)
+	minus2 := BuildRing(members("n1", "n3"), 0)
+	moved, kept := 0, 0
+	for k := 0; k < 20000; k++ {
+		h := KeyHash("rebalance", strconv.Itoa(k))
+		before := full.Owner(h).ID
+		after := minus2.Owner(h).ID
+		if before == "n2" {
+			if after == "n2" {
+				t.Fatalf("key %d still owned by removed member", k)
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %d owned by %s moved to %s although its owner survived", k, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestRingWeights: a member with weight w owns roughly w times the keys
+// of a weight-1 member (loose bounds; 64 vnodes per weight unit).
+func TestRingWeights(t *testing.T) {
+	r := BuildRing([]Member{
+		{ID: "light", Addr: "light", Weight: 1},
+		{ID: "heavy", Addr: "heavy", Weight: 3},
+	}, 0)
+	counts := map[string]int{}
+	const N = 40000
+	for k := 0; k < N; k++ {
+		counts[r.Owner(KeyHash("w", strconv.Itoa(k))).ID]++
+	}
+	ratio := float64(counts["heavy"]) / float64(counts["light"])
+	if ratio < 1.8 || ratio > 4.5 {
+		t.Fatalf("weight-3 member owns %.2fx the keys of the weight-1 member (want ~3x): %v", ratio, counts)
+	}
+}
+
+// TestRingSingleAndEmpty: a one-member ring owns everything; an empty
+// ring returns the zero member.
+func TestRingSingleAndEmpty(t *testing.T) {
+	one := BuildRing(members("only"), 0)
+	for k := 0; k < 100; k++ {
+		if got := one.Owner(KeyHash("s", strconv.Itoa(k))).ID; got != "only" {
+			t.Fatalf("single-member ring returned %q", got)
+		}
+	}
+	if got := BuildRing(nil, 0).Owner(42); got.ID != "" {
+		t.Fatalf("empty ring returned %+v", got)
+	}
+}
+
+// TestKeyHashSeparation: part boundaries matter.
+func TestKeyHashSeparation(t *testing.T) {
+	if KeyHash("ab", "c") == KeyHash("a", "bc") {
+		t.Fatal("KeyHash must separate parts")
+	}
+	if KeyHash("a") == KeyHash("a", "") {
+		t.Fatal("KeyHash must observe empty trailing parts")
+	}
+	if StrategyKeyHash(1, "sig", "p", "auto") == StrategyKeyHash(1, "sig", "p", "strict") {
+		t.Fatal("mode must contribute to the strategy key")
+	}
+}
+
+// TestParsePeers covers the -peers syntax including weights.
+func TestParsePeers(t *testing.T) {
+	ms, err := ParsePeers("10.0.0.1:7699, 10.0.0.2:7699@3 ,10.0.0.3:7699")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("want 3 members, got %d", len(ms))
+	}
+	if ms[1].Addr != "10.0.0.2:7699" || ms[1].Weight != 3 {
+		t.Fatalf("weighted peer parsed as %+v", ms[1])
+	}
+	for _, bad := range []string{"", " , ", "host:1@x", "host:1@0", "@2"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("ParsePeers(%q) must fail", bad)
+		}
+	}
+}
+
+// TestRingDistribution: no member of an equal-weight fleet owns a wildly
+// disproportionate share.
+func TestRingDistribution(t *testing.T) {
+	ids := make([]string, 5)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%d", i)
+	}
+	r := BuildRing(members(ids...), 0)
+	counts := map[string]int{}
+	const N = 50000
+	for k := 0; k < N; k++ {
+		counts[r.Owner(KeyHash("d", strconv.Itoa(k))).ID]++
+	}
+	for id, c := range counts {
+		share := float64(c) / N
+		if share < 0.05 || share > 0.45 {
+			t.Fatalf("member %s owns %.1f%% of keys: %v", id, share*100, counts)
+		}
+	}
+}

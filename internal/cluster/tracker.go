@@ -1,0 +1,305 @@
+// Membership tracking: the Tracker merges the configured view (its Store,
+// re-polled when watchable for join/leave semantics) with a liveness view
+// (periodic health probes; a member is marked down after FailThreshold
+// consecutive probe failures and back up on the first success). The alive
+// set — configured minus down, self always included — is what ownership
+// rings are built from, so key ownership rebalances deterministically as
+// members join, leave, fail and recover.
+
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TrackerOptions configure membership tracking. The zero value gives 1s
+// probe/poll intervals and a fail threshold of 2.
+type TrackerOptions struct {
+	// ProbeInterval is the health-probe period (default 1s).
+	ProbeInterval time.Duration
+	// PollInterval is the store re-load period for watchable stores
+	// (default: ProbeInterval).
+	PollInterval time.Duration
+	// FailThreshold is the number of consecutive probe failures that mark
+	// a member down (default 2). One success marks it back up.
+	FailThreshold int
+	// Probe checks one member's health; nil disables probing (liveness
+	// then changes only through MarkDown). The function must bound its own
+	// wall-clock — a hung probe must not wedge the probe loop (probes run
+	// on their own goroutines, but an unbounded one leaks).
+	Probe func(Member) error
+}
+
+// Tracker is the live membership view. Create with NewTracker, then Start
+// the probe/poll loops; Alive is the ring-building input, Version changes
+// whenever the view does, and Changed coalesces change notifications.
+type Tracker struct {
+	opts TrackerOptions
+	self Member
+	st   Store
+
+	mu      sync.Mutex
+	cfg     []Member       // configured view (normalized, sorted)
+	fails   map[string]int // consecutive probe failures per member ID
+	probing map[string]bool
+	version uint64
+	closed  bool
+
+	changed chan struct{}
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewTracker loads the initial configured view from store and returns the
+// tracker. self is always part of the view (appended if the store omits
+// it) and is never probed or marked down.
+func NewTracker(self Member, store Store, opts TrackerOptions) (*Tracker, error) {
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = time.Second
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = opts.ProbeInterval
+	}
+	if opts.FailThreshold <= 0 {
+		opts.FailThreshold = 2
+	}
+	self = self.normalize()
+	members, err := store.Load()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: initial membership load: %w", err)
+	}
+	t := &Tracker{
+		opts:    opts,
+		self:    self,
+		st:      store,
+		fails:   map[string]int{},
+		probing: map[string]bool{},
+		changed: make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+	}
+	t.cfg = t.withSelf(members)
+	return t, nil
+}
+
+// withSelf normalizes a loaded set and guarantees self is in it.
+func (t *Tracker) withSelf(members []Member) []Member {
+	ms := normalizeSet(members)
+	for _, m := range ms {
+		if m.ID == t.self.ID {
+			return ms
+		}
+	}
+	return normalizeSet(append(ms, t.self))
+}
+
+// EnsureProbe installs p as the health probe if none is configured yet.
+// Must be called before Start (the service installs its protocol-level
+// ping here, after the tracker exists but before the loops run).
+func (t *Tracker) EnsureProbe(p func(Member) error) {
+	if t.opts.Probe == nil {
+		t.opts.Probe = p
+	}
+}
+
+// Start launches the probe loop and, for watchable stores, the poll loop.
+func (t *Tracker) Start() {
+	if t.opts.Probe != nil {
+		t.wg.Add(1)
+		go t.probeLoop()
+	}
+	if t.st.Watchable() {
+		t.wg.Add(1)
+		go t.pollLoop()
+	}
+}
+
+// Close stops the loops. Idempotent.
+func (t *Tracker) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		t.wg.Wait()
+		return
+	}
+	t.closed = true
+	t.mu.Unlock()
+	close(t.stop)
+	t.wg.Wait()
+}
+
+// Self returns this daemon's own member record.
+func (t *Tracker) Self() Member { return t.self }
+
+// Configured returns the configured view (copy, canonical order).
+func (t *Tracker) Configured() []Member {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Member, len(t.cfg))
+	copy(out, t.cfg)
+	return out
+}
+
+// Alive returns the live view: configured members not currently marked
+// down (copy, canonical order). Self is always alive.
+func (t *Tracker) Alive() []Member {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Member, 0, len(t.cfg))
+	for _, m := range t.cfg {
+		if m.ID == t.self.ID || t.fails[m.ID] < t.opts.FailThreshold {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Version returns the membership view's version; it changes whenever the
+// configured set or any member's liveness does. Ring builders cache on it.
+func (t *Tracker) Version() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.version
+}
+
+// Changed returns a channel receiving coalesced membership-change
+// notifications (join, leave, down, up). Level-triggered: one receive may
+// cover several changes; poll Version/Alive for the current view.
+func (t *Tracker) Changed() <-chan struct{} { return t.changed }
+
+// MarkDown immediately marks a member down (version bump, notification) —
+// the fast path a failed forward takes so the ring reassigns the dead
+// owner's keys without waiting out the probe cycle. Probes bring the
+// member back on recovery. Self cannot be marked down.
+func (t *Tracker) MarkDown(id string) {
+	if id == t.self.ID {
+		return
+	}
+	t.mu.Lock()
+	known := false
+	for _, m := range t.cfg {
+		if m.ID == id {
+			known = true
+			break
+		}
+	}
+	wasDown := t.fails[id] >= t.opts.FailThreshold
+	if known && !wasDown {
+		t.fails[id] = t.opts.FailThreshold
+		t.bumpLocked()
+	}
+	t.mu.Unlock()
+}
+
+// bumpLocked bumps the version and queues a notification. Caller holds mu.
+func (t *Tracker) bumpLocked() {
+	t.version++
+	select {
+	case t.changed <- struct{}{}:
+	default:
+	}
+}
+
+func (t *Tracker) probeLoop() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.opts.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+			t.probeRound()
+		}
+	}
+}
+
+// probeRound probes every non-self member that is not already being
+// probed, each on its own goroutine so one slow peer cannot delay the
+// others' liveness transitions.
+func (t *Tracker) probeRound() {
+	t.mu.Lock()
+	var targets []Member
+	for _, m := range t.cfg {
+		if m.ID == t.self.ID || t.probing[m.ID] {
+			continue
+		}
+		t.probing[m.ID] = true
+		targets = append(targets, m)
+	}
+	t.mu.Unlock()
+	for _, m := range targets {
+		t.wg.Add(1)
+		go func(m Member) {
+			defer t.wg.Done()
+			err := t.opts.Probe(m)
+			t.recordProbe(m.ID, err)
+		}(m)
+	}
+}
+
+// recordProbe folds one probe outcome into the liveness view.
+func (t *Tracker) recordProbe(id string, err error) {
+	t.mu.Lock()
+	defer func() {
+		delete(t.probing, id)
+		t.mu.Unlock()
+	}()
+	known := false
+	for _, m := range t.cfg {
+		if m.ID == id {
+			known = true
+			break
+		}
+	}
+	if !known { // left the roster while the probe was in flight
+		delete(t.fails, id)
+		return
+	}
+	wasDown := t.fails[id] >= t.opts.FailThreshold
+	if err != nil {
+		t.fails[id]++
+		if !wasDown && t.fails[id] >= t.opts.FailThreshold {
+			t.bumpLocked()
+		}
+		return
+	}
+	t.fails[id] = 0
+	if wasDown {
+		t.bumpLocked()
+	}
+}
+
+func (t *Tracker) pollLoop() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.opts.PollInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+			members, err := t.st.Load()
+			if err != nil {
+				continue // transient store failure: keep the last good view
+			}
+			next := t.withSelf(members)
+			t.mu.Lock()
+			if !sameSet(t.cfg, next) {
+				keep := map[string]bool{}
+				for _, m := range next {
+					keep[m.ID] = true
+				}
+				for id := range t.fails {
+					if !keep[id] {
+						delete(t.fails, id) // a leaver rejoining later starts alive
+					}
+				}
+				t.cfg = next
+				t.bumpLocked()
+			}
+			t.mu.Unlock()
+		}
+	}
+}

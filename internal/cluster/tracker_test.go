@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeProbe is a controllable health probe: mark IDs as failing and every
+// probe against them errors.
+type fakeProbe struct {
+	mu   sync.Mutex
+	down map[string]bool
+}
+
+func (f *fakeProbe) set(id string, down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down == nil {
+		f.down = map[string]bool{}
+	}
+	f.down[id] = down
+}
+
+func (f *fakeProbe) probe(m Member) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down[m.ID] {
+		return errors.New("injected probe failure")
+	}
+	return nil
+}
+
+func aliveIDs(t *Tracker) []string {
+	var ids []string
+	for _, m := range t.Alive() {
+		ids = append(ids, m.ID)
+	}
+	return ids
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTrackerHealthDownUp: a member goes down after FailThreshold
+// consecutive probe failures and comes back on the first success; each
+// transition bumps the version and fires Changed.
+func TestTrackerHealthDownUp(t *testing.T) {
+	fp := &fakeProbe{}
+	self := Member{Addr: "self:1"}
+	tr, err := NewTracker(self, StaticStore(members("self:1", "peer:2", "peer:3")), TrackerOptions{
+		ProbeInterval: 10 * time.Millisecond,
+		FailThreshold: 2,
+		Probe:         fp.probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Start()
+	defer tr.Close()
+
+	if got := len(tr.Alive()); got != 3 {
+		t.Fatalf("all members start alive, got %d", got)
+	}
+	v0 := tr.Version()
+
+	fp.set("peer:2", true)
+	waitFor(t, "peer:2 down", func() bool { return len(tr.Alive()) == 2 })
+	for _, id := range aliveIDs(tr) {
+		if id == "peer:2" {
+			t.Fatal("peer:2 still alive")
+		}
+	}
+	if tr.Version() == v0 {
+		t.Fatal("down transition must bump the version")
+	}
+
+	fp.set("peer:2", false)
+	waitFor(t, "peer:2 recovery", func() bool { return len(tr.Alive()) == 3 })
+}
+
+// TestTrackerMarkDown: MarkDown demotes immediately (no probe wait) and a
+// later successful probe recovers the member. Self is immune.
+func TestTrackerMarkDown(t *testing.T) {
+	fp := &fakeProbe{}
+	tr, err := NewTracker(Member{Addr: "self:1"}, StaticStore(members("self:1", "peer:2")), TrackerOptions{
+		ProbeInterval: 10 * time.Millisecond,
+		FailThreshold: 3,
+		Probe:         fp.probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := tr.Version()
+	tr.MarkDown("peer:2")
+	if got := len(tr.Alive()); got != 1 {
+		t.Fatalf("MarkDown must demote immediately, alive=%d", got)
+	}
+	if tr.Version() == v0 {
+		t.Fatal("MarkDown must bump the version")
+	}
+	select {
+	case <-tr.Changed():
+	default:
+		t.Fatal("MarkDown must notify Changed")
+	}
+	tr.MarkDown("self:1")
+	if got := len(tr.Alive()); got != 1 {
+		t.Fatalf("self must be immune to MarkDown, alive=%d", got)
+	}
+
+	// Probes recover the marked-down member.
+	tr.Start()
+	defer tr.Close()
+	waitFor(t, "peer:2 probe recovery", func() bool { return len(tr.Alive()) == 2 })
+}
+
+func writeRoster(t *testing.T, path string, addrs ...string) {
+	t.Helper()
+	var cfg struct {
+		Members []Member `json:"members"`
+	}
+	for _, a := range addrs {
+		cfg.Members = append(cfg.Members, Member{Addr: a})
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileStoreJoinLeave: the file-backed config store gives join/leave
+// watch semantics — rewriting the roster file changes the configured view
+// within a poll interval, and leavers' liveness state is forgotten.
+func TestFileStoreJoinLeave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "roster.json")
+	writeRoster(t, path, "self:1", "peer:2")
+
+	tr, err := NewTracker(Member{Addr: "self:1"}, FileStore{Path: path}, TrackerOptions{
+		ProbeInterval: time.Hour, // isolate the poll loop
+		PollInterval:  10 * time.Millisecond,
+		Probe:         func(Member) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Start()
+	defer tr.Close()
+	if got := len(tr.Configured()); got != 2 {
+		t.Fatalf("initial roster must have 2 members, got %d", got)
+	}
+
+	// Join.
+	writeRoster(t, path, "self:1", "peer:2", "peer:3")
+	waitFor(t, "peer:3 join", func() bool { return len(tr.Configured()) == 3 })
+
+	// A down member that leaves and rejoins starts alive again.
+	tr.MarkDown("peer:3")
+	if got := len(tr.Alive()); got != 2 {
+		t.Fatalf("alive after MarkDown: %d", got)
+	}
+	writeRoster(t, path, "self:1", "peer:2")
+	waitFor(t, "peer:3 leave", func() bool { return len(tr.Configured()) == 2 })
+	writeRoster(t, path, "self:1", "peer:2", "peer:3")
+	waitFor(t, "peer:3 rejoin alive", func() bool { return len(tr.Alive()) == 3 })
+}
+
+// TestFileStoreSelfAlwaysPresent: a roster omitting self still includes
+// it in the configured view (a daemon is always its own member).
+func TestFileStoreSelfAlwaysPresent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "roster.json")
+	writeRoster(t, path, "peer:2")
+	tr, err := NewTracker(Member{Addr: "self:1"}, FileStore{Path: path}, TrackerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if got := len(tr.Configured()); got != 2 {
+		t.Fatalf("self must be appended, got %d members", got)
+	}
+}
+
+// TestFileStoreBadFile: an unreadable or malformed roster fails loudly at
+// construction and is skipped (last good view kept) while polling.
+func TestFileStoreBadFile(t *testing.T) {
+	if _, err := NewTracker(Member{Addr: "s:1"}, FileStore{Path: "/nonexistent/roster.json"}, TrackerOptions{}); err == nil {
+		t.Fatal("missing roster file must fail NewTracker")
+	}
+	path := filepath.Join(t.TempDir(), "roster.json")
+	writeRoster(t, path, "self:1", "peer:2")
+	tr, err := NewTracker(Member{Addr: "self:1"}, FileStore{Path: path}, TrackerOptions{
+		PollInterval: 5 * time.Millisecond,
+		Probe:        func(Member) error { return nil },
+		// ProbeInterval long: this test only exercises polling.
+		ProbeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Start()
+	defer tr.Close()
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if got := len(tr.Configured()); got != 2 {
+		t.Fatalf("malformed roster must keep the last good view, got %d members", got)
+	}
+}

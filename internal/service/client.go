@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"tigatest/internal/adapter"
 	"tigatest/internal/tiots"
@@ -47,12 +48,30 @@ func Dial(addr string) (*Client, error) {
 // wrap first — the hook fault-injection wrappers (internal/faultconn) and
 // instrumentation attach to. A nil wrap is plain Dial.
 func DialWith(addr string, wrap func(net.Conn) net.Conn) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWithTimeout(addr, 0, wrap)
+}
+
+// DialWithTimeout opens a session like DialWith with the whole handshake —
+// TCP dial plus greeting read — bounded by timeout (0 = unbounded, the
+// historical DialWith behavior). Peer forwards and health probes use it:
+// a hung fleet member must cost one bounded forward, never a wedged slot.
+func DialWithTimeout(addr string, timeout time.Duration, wrap func(net.Conn) net.Conn) (*Client, error) {
+	var conn net.Conn
+	var err error
+	if timeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, timeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, err
 	}
 	if wrap != nil {
 		conn = wrap(conn)
+	}
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+		defer func() { _ = conn.SetDeadline(time.Time{}) }()
 	}
 	c := &Client{conn: conn, r: bufio.NewReader(conn), enc: json.NewEncoder(conn)}
 	line, err := c.r.ReadBytes('\n')
@@ -82,6 +101,21 @@ func DialWith(addr string, wrap func(net.Conn) net.Conn) (*Client, error) {
 
 // Close ends the session.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// SetDeadline bounds the session's pending and future I/O (zero clears).
+// Peer forwards arm it per request so a slow or vanished owner surfaces
+// as a timeout error instead of a blocked read.
+func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
+// Ping issues a peer_ping health probe: a serving daemon answers with its
+// cluster identity, a draining one with the typed ErrDraining.
+func (c *Client) Ping() (*PeerInfo, error) {
+	resp, err := c.do(&Request{Op: "peer_ping"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Peer, nil
+}
 
 // do sends the request and awaits its result, serving adapter frames
 // against iut in between (iut == nil: wire frames are a protocol error).
@@ -120,9 +154,14 @@ func (c *Client) do(req *Request, iut tiots.IUT) (*Response, error) {
 			return nil, err
 		}
 		if resp.Error != "" {
-			if resp.ErrorKind == "deadline" {
+			switch resp.ErrorKind {
+			case "deadline":
 				// Typed so callers can retry on errors.Is(err, ErrDeadline).
 				return &resp, fmt.Errorf("%w: %s", ErrDeadline, resp.Error)
+			case "draining":
+				// Typed so peer forwarders treat the owner as down (fall back
+				// to a local solve), not as a failed request.
+				return &resp, fmt.Errorf("%w: %s", ErrDraining, resp.Error)
 			}
 			return &resp, fmt.Errorf("service: %s", resp.Error)
 		}

@@ -25,7 +25,11 @@ import (
 // Request is one control-API call.
 type Request struct {
 	// Op selects the endpoint: "synthesize", "strategy", "run",
-	// "campaign" or "stats".
+	// "campaign" or "stats" — plus the fleet-internal "peer_ping" (health
+	// probe) and "peer_strategy" (a consistent-hash miss forward: the
+	// daemon owning the key resolves it locally and ships the compiled
+	// wire encoding back; a draining daemon refuses with the typed
+	// "draining" error kind so the forwarder falls back to a local solve).
 	Op string `json:"op"`
 	// Model names a registered model.
 	Model string `json:"model,omitempty"`
@@ -55,6 +59,11 @@ type Request struct {
 	// with a typed "deadline" error (Response.ErrorKind) and leaves the
 	// session usable; the canceled solve is never cached.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// ModelHash (peer_strategy only) is the forwarder's structural model
+	// hash, hex-encoded; the owner refuses a forward whose hash does not
+	// match its own registration — two fleets must never cross-pollinate
+	// strategies for models that merely share a name.
+	ModelHash string `json:"model_hash,omitempty"`
 }
 
 // Response is one control-API reply (or the session greeting).
@@ -67,8 +76,9 @@ type Response struct {
 	Error string `json:"error,omitempty"`
 	// ErrorKind types machine-actionable failures: "deadline" (the request
 	// deadline expired — retryable), "budget" (solver resource budget
-	// exhausted), "panic" (recovered internal panic). Empty for plain
-	// validation errors.
+	// exhausted), "panic" (recovered internal panic), "draining" (the
+	// daemon is shutting down — peer forwarders treat the owner as down
+	// and solve locally). Empty for plain validation errors.
 	ErrorKind string `json:"error_kind,omitempty"`
 
 	Synth    *SynthInfo    `json:"synth,omitempty"`
@@ -78,6 +88,15 @@ type Response struct {
 	// compacted onto the response line.
 	Report json.RawMessage `json:"report,omitempty"`
 	Stats  *Stats          `json:"stats,omitempty"`
+	// Peer answers a peer_ping health probe.
+	Peer *PeerInfo `json:"peer,omitempty"`
+}
+
+// PeerInfo is the peer_ping payload: the answering daemon's cluster
+// identity (empty when it is not clustered — a probe still proves it
+// serves requests).
+type PeerInfo struct {
+	ID string `json:"id,omitempty"`
 }
 
 // SynthInfo describes a synthesized (or refuted) strategy.
@@ -175,6 +194,30 @@ type SolverStats struct {
 	CondensationReuses int64 `json:"condensation_reuses"`
 }
 
+// ClusterStats are the fleet counters of one daemon. PeerHits counts
+// requests served with strategy material fetched from the owning peer
+// (fresh forwards and second-tier cache hits alike), Forwards the
+// peer_strategy round-trips attempted, ForwardFailures the subset that
+// failed (owner down, draining, slow, or served a bad payload),
+// OwnerLocalFallbacks the requests that degraded to a local solve after a
+// failed forward — the graceful-degradation counter: a rising value means
+// the fleet is partitioned but still serving. PeerServes counts forwards
+// this daemon answered as owner; DrainRejects forwards it refused with
+// the typed draining error during shutdown.
+type ClusterStats struct {
+	Self        string `json:"self"`
+	Members     int    `json:"members"`
+	Alive       int    `json:"alive"`
+	RingVersion uint64 `json:"ring_version"`
+
+	PeerHits            int64 `json:"peer_hits"`
+	Forwards            int64 `json:"forwards"`
+	ForwardFailures     int64 `json:"forward_failures"`
+	OwnerLocalFallbacks int64 `json:"owner_local_fallbacks"`
+	PeerServes          int64 `json:"peer_serves"`
+	DrainRejects        int64 `json:"drain_rejects"`
+}
+
 // ModelInfo describes one registered model.
 type ModelInfo struct {
 	Name  string   `json:"name"`
@@ -183,10 +226,13 @@ type ModelInfo struct {
 	Plant []string `json:"plant"`
 }
 
-// Stats is the stats-endpoint payload.
+// Stats is the stats-endpoint payload. Cluster is present only on
+// clustered daemons, so a standalone daemon's stats stay byte-identical
+// to the pre-cluster format.
 type Stats struct {
-	Cache    CacheStats   `json:"cache"`
-	Sessions SessionStats `json:"sessions"`
-	Solver   SolverStats  `json:"solver"`
-	Models   []ModelInfo  `json:"models"`
+	Cache    CacheStats    `json:"cache"`
+	Sessions SessionStats  `json:"sessions"`
+	Solver   SolverStats   `json:"solver"`
+	Cluster  *ClusterStats `json:"cluster,omitempty"`
+	Models   []ModelInfo   `json:"models"`
 }

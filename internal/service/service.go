@@ -75,6 +75,11 @@ type modelEntry struct {
 type Service struct {
 	opts  Options
 	cache *strategyCache
+	// cl is the fleet state (nil on a standalone daemon — the nil check is
+	// the only branch the baseline request path gains, so a daemon without
+	// -peers behaves byte-identically to the pre-cluster service). Set once
+	// by EnableCluster before Listen, read lock-free afterwards.
+	cl *clusterState
 
 	mu       sync.Mutex
 	models   map[string]*modelEntry
@@ -277,6 +282,12 @@ func (s *Service) Drain() {
 		ln.Close()
 	}
 	s.wg.Wait()
+	if s.cl != nil {
+		// Peer forwards were refused (typed draining) from the moment the
+		// flag flipped — before the in-flight local sessions above finished.
+		// All that remains is dropping the pooled outbound links.
+		s.cl.closeLinks()
+	}
 	s.logf("service: drained")
 }
 
@@ -397,6 +408,9 @@ func (s *Service) StatsSnapshot() *Stats {
 			SkeletonCoreMisses: s.skeletonCoreMisses.Load(),
 			CondensationReuses: s.condensationReuses.Load(),
 		},
+	}
+	if s.cl != nil {
+		st.Cluster = s.cl.snapshot()
 	}
 	s.mu.Lock()
 	names := make([]string, 0, len(s.models))

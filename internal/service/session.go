@@ -35,6 +35,7 @@ const (
 	kindDeadline = "deadline"
 	kindBudget   = "budget"
 	kindPanic    = "panic"
+	kindDraining = "draining"
 )
 
 // session is one control connection.
@@ -204,45 +205,78 @@ func (ss *session) handle(req *Request, done <-chan struct{}) *Response {
 	case "stats":
 		return &Response{Event: "result", OK: true, Stats: ss.s.StatsSnapshot()}
 	case "synthesize":
-		_, _, info, resp := ss.resolve(req, done)
+		rv, resp := ss.resolve(req, done)
 		if resp != nil {
 			return resp
 		}
-		return &Response{Event: "result", OK: true, Synth: info}
+		return &Response{Event: "result", OK: true, Synth: rv.info}
 	case "strategy":
 		return ss.strategy(req, done)
 	case "run":
 		return ss.run(req, done)
 	case "campaign":
 		return ss.campaign(req, done)
+	case "peer_ping":
+		return ss.peerPing()
+	case "peer_strategy":
+		return ss.peerStrategy(req, done)
 	default:
 		return errResp("unknown op %q (use synthesize, strategy, run, campaign or stats)", req.Op)
 	}
 }
 
-// resolve looks up the model, parses the purpose and synthesizes (through
-// the strategy cache). A non-nil Response reports the failure; otherwise
-// the SynthInfo describes the outcome, winnable or not.
-func (ss *session) resolve(req *Request, done <-chan struct{}) (*modelEntry, *game.Result, *SynthInfo, *Response) {
-	me, ok := ss.s.modelByName(req.Model)
-	if !ok {
-		return nil, nil, nil, errResp("unknown model %q", req.Model)
+// resolved is one strategy resolution: the synthesis outcome plus the
+// material to serve it — a local solver Result, or (for peer-fetched
+// strategies) the owner's compiled tables and their canonical encoding.
+// Exactly one of res/cs is the execution source; both are nil only for
+// refuted (non-winnable) purposes.
+type resolved struct {
+	me   *modelEntry
+	info *SynthInfo
+	res  *game.Result           // local solve (nil when peer-fetched)
+	cs   *game.CompiledStrategy // peer-fetched compiled tables
+	enc  []byte                 // ... and their canonical wire encoding
+}
+
+// encoded returns the canonical compiled wire encoding and its checksum,
+// re-shipping the owner's bytes for peer-fetched strategies and compiling
+// locally otherwise.
+func (rv *resolved) encoded() ([]byte, string, error) {
+	if rv.cs != nil && rv.enc != nil {
+		return rv.enc, fmt.Sprintf("%016x", rv.cs.Checksum()), nil
 	}
-	f, err := tctl.Parse(me.env, req.Purpose)
+	cs, err := rv.res.CompiledStrategy()
 	if err != nil {
-		return nil, nil, nil, errResp("purpose: %v", err)
+		return nil, "", err
 	}
-	sig := game.ExtrapolationSignature(me.sys, f)
-	res, err := ss.s.synthesize(me, f, sig, req.Mode, done)
-	if err != nil {
-		return nil, nil, nil, solveErrResp(err)
+	data := cs.Encode()
+	return data, fmt.Sprintf("%016x", cs.Checksum()), nil
+}
+
+// consultant picks the execution strategy: compiled decision tables when
+// available (shared per cached Result locally, shipped by the owner for
+// peer-fetched strategies), the interpreted strategy as the fallback for
+// the non-reachability purposes compilation rejects.
+func (rv *resolved) consultant(s *Service) game.Consultant {
+	if rv.cs != nil {
+		s.cache.compiledHits.Add(1)
+		return rv.cs
 	}
-	mode := req.Mode
+	consult := game.Consultant(rv.res.Strategy)
+	if cs, err := rv.res.CompiledStrategy(); err == nil {
+		consult = cs
+		s.cache.compiledHits.Add(1)
+	}
+	return consult
+}
+
+// synthInfo assembles the synthesis outcome descriptor for a local solve.
+func synthInfo(modelName string, me *modelEntry, sig string, f *tctl.Formula, mode string, res *game.Result) *SynthInfo {
 	if mode == "" {
 		mode = "auto"
 	}
 	info := &SynthInfo{
-		Model:       req.Model,
+		Model:       modelName,
 		ModelHash:   fmt.Sprintf("%016x", me.hash),
 		Signature:   sig,
 		Purpose:     f.String(),
@@ -254,7 +288,100 @@ func (ss *session) resolve(req *Request, done <-chan struct{}) (*modelEntry, *ga
 	if res.Winnable {
 		info.Cooperative = res.Strategy.Cooperative()
 	}
-	return me, res, info, nil
+	return info
+}
+
+// localResolve synthesizes through the first-tier strategy cache on this
+// daemon. A non-nil Response reports the failure; otherwise the resolved
+// describes the outcome, winnable or not.
+func (s *Service) localResolve(me *modelEntry, f *tctl.Formula, sig string, req *Request, done <-chan struct{}) (*resolved, *Response) {
+	res, err := s.synthesize(me, f, sig, req.Mode, done)
+	if err != nil {
+		return nil, solveErrResp(err)
+	}
+	return &resolved{me: me, info: synthInfo(req.Model, me, sig, f, req.Mode, res), res: res}, nil
+}
+
+// resolve looks up the model, parses the purpose and synthesizes —
+// locally on a standalone daemon, through the cluster's ownership ring on
+// a fleet member (the owner solves, everyone else forwards and caches).
+func (ss *session) resolve(req *Request, done <-chan struct{}) (*resolved, *Response) {
+	me, ok := ss.s.modelByName(req.Model)
+	if !ok {
+		return nil, errResp("unknown model %q", req.Model)
+	}
+	f, err := tctl.Parse(me.env, req.Purpose)
+	if err != nil {
+		return nil, errResp("purpose: %v", err)
+	}
+	sig := game.ExtrapolationSignature(me.sys, f)
+	if ss.s.cl != nil {
+		return ss.s.clusterResolve(me, f, sig, req, done)
+	}
+	return ss.s.localResolve(me, f, sig, req, done)
+}
+
+// peerPing answers a fleet health probe. A draining daemon refuses with
+// the typed draining kind — probes must see shutdown as down, not as a
+// healthy answer.
+func (ss *session) peerPing() *Response {
+	if ss.s.Draining() {
+		if ss.s.cl != nil {
+			ss.s.cl.drainRejects.Add(1)
+		}
+		return &Response{Event: "result", Error: "draining", ErrorKind: kindDraining}
+	}
+	pi := &PeerInfo{}
+	if ss.s.cl != nil {
+		pi.ID = ss.s.cl.opts.Tracker.Self().ID
+	}
+	return &Response{Event: "result", OK: true, Peer: pi}
+}
+
+// peerStrategy answers a consistent-hash miss forward: resolve the key
+// locally — ALWAYS locally, never re-forwarded, so disagreeing membership
+// views can cost an extra solve but never a forwarding loop — and ship
+// the compiled wire encoding. A draining daemon refuses first with the
+// typed draining kind (the drain bugfix: a forward must not land in a
+// daemon that is tearing down; the forwarder treats the answer as
+// owner-down and solves locally).
+func (ss *session) peerStrategy(req *Request, done <-chan struct{}) *Response {
+	if ss.s.Draining() {
+		if ss.s.cl != nil {
+			ss.s.cl.drainRejects.Add(1)
+		}
+		return &Response{Event: "result", Error: "draining: forward refused during shutdown", ErrorKind: kindDraining}
+	}
+	me, ok := ss.s.modelByName(req.Model)
+	if !ok {
+		return errResp("unknown model %q", req.Model)
+	}
+	if req.ModelHash != "" && req.ModelHash != fmt.Sprintf("%016x", me.hash) {
+		return errResp("model hash mismatch: forwarder has %s, this daemon has %016x", req.ModelHash, me.hash)
+	}
+	f, err := tctl.Parse(me.env, req.Purpose)
+	if err != nil {
+		return errResp("purpose: %v", err)
+	}
+	sig := game.ExtrapolationSignature(me.sys, f)
+	rv, resp := ss.s.localResolve(me, f, sig, req, done)
+	if resp != nil {
+		return resp
+	}
+	if ss.s.cl != nil {
+		ss.s.cl.peerServes.Add(1)
+	}
+	si := &StrategyInfo{Synth: *rv.info}
+	if rv.info.Winnable {
+		data, sum, err := rv.encoded()
+		if err != nil {
+			return errResp("compile: %v", err)
+		}
+		si.Bytes = len(data)
+		si.Checksum = sum
+		si.Encoded = data
+	}
+	return &Response{Event: "result", OK: true, Strategy: si}
 }
 
 // strategy synthesizes (through the cache), compiles, and ships the
@@ -263,24 +390,23 @@ func (ss *session) resolve(req *Request, done <-chan struct{}) (*modelEntry, *ga
 // Compilation happens once per cached Result and is shared with every run
 // request on the same purpose.
 func (ss *session) strategy(req *Request, done <-chan struct{}) *Response {
-	_, res, info, resp := ss.resolve(req, done)
+	rv, resp := ss.resolve(req, done)
 	if resp != nil {
 		return resp
 	}
-	if !res.Winnable {
-		return errResp("purpose %s is not winnable under mode %s", info.Purpose, info.Mode)
+	if !rv.info.Winnable {
+		return errResp("purpose %s is not winnable under mode %s", rv.info.Purpose, rv.info.Mode)
 	}
-	cs, err := res.CompiledStrategy()
+	data, sum, err := rv.encoded()
 	if err != nil {
 		return errResp("compile: %v", err)
 	}
-	data := cs.Encode()
 	ss.s.cache.compiledHits.Add(1)
 	ss.s.cache.compiledBytes.Add(int64(len(data)))
 	return &Response{Event: "result", OK: true, Strategy: &StrategyInfo{
-		Synth:    *info,
+		Synth:    *rv.info,
 		Bytes:    len(data),
-		Checksum: fmt.Sprintf("%016x", cs.Checksum()),
+		Checksum: sum,
 		Encoded:  data,
 	}}
 }
@@ -288,11 +414,12 @@ func (ss *session) strategy(req *Request, done <-chan struct{}) *Response {
 // run synthesizes (through the cache) and executes the strategy against
 // the requested implementation.
 func (ss *session) run(req *Request, done <-chan struct{}) *Response {
-	me, res, info, resp := ss.resolve(req, done)
+	rv, resp := ss.resolve(req, done)
 	if resp != nil {
 		return resp
 	}
-	if !res.Winnable {
+	me, info := rv.me, rv.info
+	if !info.Winnable {
 		return errResp("purpose %s is not winnable under mode %s", info.Purpose, info.Mode)
 	}
 
@@ -319,14 +446,7 @@ func (ss *session) run(req *Request, done <-chan struct{}) *Response {
 		return errResp("unknown iut %q (use local or inline)", req.IUT)
 	}
 
-	// Execute through the compiled decision tables (built once per cached
-	// Result, shared across sessions); the interpreted strategy is the
-	// fallback for the non-reachability purposes compilation rejects.
-	consult := game.Consultant(res.Strategy)
-	if cs, err := res.CompiledStrategy(); err == nil {
-		consult = cs
-		ss.s.cache.compiledHits.Add(1)
-	}
+	consult := rv.consultant(ss.s)
 	runner := &campaign.Runner{
 		Strategy: consult,
 		Exec:     texec.Options{PlantProcs: me.plant, Scale: ss.s.opts.Scale, Cancel: done},
