@@ -17,7 +17,9 @@
 //	tigad -listen 127.0.0.1:0               # ephemeral port (printed on stdout)
 //	tigad -models smartlight -lep-n 3       # add the LEP instance as model "lep"
 //	tigad -file extra.tga -max-sessions 256
-//	tigad -metrics-addr 127.0.0.1:9699      # Prometheus /metrics endpoint
+//	tigad -metrics-addr 127.0.0.1:9699      # Prometheus /metrics + pprof on /debug/pprof/
+//	tigad -log-level info                   # structured access log (one line per request)
+//	tigad -obs=false                        # E9 ablation: no histograms, tracing or access log
 //
 // Fleet mode: N daemons with the same model set become one logical
 // strategy cache. Every member lists the full fleet (itself included)
@@ -37,8 +39,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // mounted on the -metrics-addr mux, not a public default mux
 	"os"
 	"os/signal"
 	"strings"
@@ -69,7 +73,11 @@ func main() {
 		advertise     = flag.String("advertise", "", "address this daemon is known by in the fleet (default: -listen; required with -listen :0)")
 		peerTimeout   = flag.Duration("peer-timeout", 2*time.Second, "bound on one peer forward or health probe")
 		probeInterval = flag.Duration("probe-interval", time.Second, "peer health-probe interval")
-		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus metrics on http://ADDR/metrics (empty = off)")
+		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus metrics on http://ADDR/metrics plus net/http/pprof on /debug/pprof/ (empty = off)")
+
+		obsOn    = flag.Bool("obs", true, "observability layer: latency histograms, request tracing, access log (-obs=false is the E9 ablation)")
+		logLevel = flag.String("log-level", "warn", "structured-log threshold: debug (per-span records), info (per-request access log), warn, error")
+		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON lines instead of logfmt-style text")
 	)
 	flag.Var(&files, "file", "additional model file in the tigatest DSL (repeatable)")
 	flag.Parse()
@@ -80,11 +88,30 @@ func main() {
 	if *quiet {
 		logf = nil
 	}
+
+	// Structured logging rides the observability layer. The default
+	// threshold (warn) keeps the daemon's output byte-identical to the
+	// pre-observability builds: the per-request access log is Info, the
+	// per-span records are Debug.
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal(fmt.Errorf("-log-level: %v", err))
+	}
+	var handler slog.Handler
+	hopts := &slog.HandlerOptions{Level: level}
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, hopts)
+	}
+
 	svc := service.New(service.Options{
 		MaxSessions:    *maxSessions,
 		Solver:         game.Options{Workers: *solvWorkers, PropagationWorkers: *propWorkers},
 		RequestTimeout: *reqTimeout,
 		Logf:           logf,
+		DisableObs:     !*obsOn,
+		Slog:           slog.New(handler),
 	})
 
 	for _, name := range strings.Split(*modelList, ",") {
@@ -152,10 +179,13 @@ func main() {
 		mln, err := net.Listen("tcp", *metricsAddr)
 		must(err)
 		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			_ = service.WriteMetrics(w, svc.StatsSnapshot())
-		})
+		// The service handler renders counters plus (observability on) the
+		// latency histogram families, with the exposition Content-Type.
+		mux.Handle("/metrics", svc.MetricsHandler())
+		// net/http/pprof registers on http.DefaultServeMux; re-exporting the
+		// prefix here keeps profiling off the control port and on the
+		// operator-facing metrics listener.
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
 		go func() { _ = http.Serve(mln, mux) }()
 		fmt.Printf("tigad: metrics on http://%s/metrics\n", mln.Addr())
 	}

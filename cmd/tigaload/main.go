@@ -24,11 +24,20 @@
 // fleet-wide forwarded_hits aggregate (requests served with peer-fetched
 // strategy material); floors like -min-cache-hits apply to the sums.
 //
+// Soak mode (-duration) replaces the fixed per-session request count with
+// a wall-clock stop condition, and -max-p99-ms turns the client-observed
+// p99 into an SLO assertion (non-zero exit when exceeded; a soak run also
+// fails if any daemon recovered a panic). When the daemons run with
+// observability enabled, the report additionally carries daemon-side
+// percentiles (server_latency_ms) derived from the request-duration
+// histograms merged across the fleet.
+//
 // Usage:
 //
 //	tigaload -addr 127.0.0.1:7699 -sessions 8 -requests 4
 //	tigaload -addr 127.0.0.1:7699 -iut local -json BENCH_service.json -min-cache-hits 1
 //	tigaload -peers 127.0.0.1:7699,127.0.0.1:7700,127.0.0.1:7701 -min-forwarded-hits 1
+//	tigaload -sessions 32 -duration 60s -max-p99-ms 250 -json BENCH_soak.json
 package main
 
 import (
@@ -48,6 +57,7 @@ import (
 	"tigatest/internal/game"
 	"tigatest/internal/model"
 	"tigatest/internal/models"
+	"tigatest/internal/obs"
 	"tigatest/internal/service"
 	"tigatest/internal/texec"
 	"tigatest/internal/tiots"
@@ -71,6 +81,9 @@ func main() {
 		minHits  = flag.Int64("min-cache-hits", 0, "fail unless the daemon reports at least this many cache hits")
 		minComp  = flag.Int64("min-compiled-hits", 0, "fail unless the daemon reports at least this many compiled-strategy hits")
 		wait     = flag.Duration("wait", 10*time.Second, "dial retry window (daemon may still be starting, or briefly busy)")
+
+		soakDur  = flag.Duration("duration", 0, "soak mode: each session issues requests until this wall-clock elapses (replaces -requests as the stop condition)")
+		maxP99MS = flag.Float64("max-p99-ms", 0, "SLO floor: fail when the client-observed p99 request latency exceeds this many milliseconds (0 = no SLO)")
 
 		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline sent as deadline_ms (0 = none)")
 		maxRetries = flag.Int("retries", 3, "retries per request on transient errors (expired deadline, broken session), capped exponential backoff")
@@ -131,6 +144,7 @@ func main() {
 	}
 	var wg sync.WaitGroup
 	t0 := time.Now()
+	soakDeadline := t0.Add(*soakDur)
 	for k := 0; k < *sessions; k++ {
 		wg.Add(1)
 		go func(k int) {
@@ -156,7 +170,14 @@ func main() {
 				iut = tiots.NewDetIUT(impl, tiots.Scale, nil)
 			}
 			ok := true
-			for r := 0; r < *requests; r++ {
+			for r := 0; ; r++ {
+				if *soakDur > 0 {
+					if !time.Now().Before(soakDeadline) {
+						break
+					}
+				} else if r >= *requests {
+					break
+				}
 				req := service.Request{
 					Model:      sys.Name,
 					Purpose:    *purpose,
@@ -206,7 +227,8 @@ func main() {
 	// when chaos wrecked every load session. A member that drained away
 	// mid-load reports no stats but keeps its latency tally.
 	var stats *service.Stats
-	var sumHits, sumCompiled, forwardedHits int64
+	var sumHits, sumCompiled, forwardedHits, sumPanics int64
+	var reqHist *obs.Snapshot // daemons' request histograms, merged fleet-wide
 	var peerReports []peerReport
 	for _, target := range targets {
 		var st *service.Stats
@@ -225,8 +247,20 @@ func main() {
 			}
 			sumHits += st.Cache.Hits
 			sumCompiled += st.Cache.CompiledHits
+			sumPanics += st.Sessions.PanicsRecovered
 			if st.Cluster != nil {
 				forwardedHits += st.Cluster.PeerHits
+			}
+			for i := range st.Latency {
+				if st.Latency[i].Name != "tigad_request_duration_seconds" {
+					continue
+				}
+				if reqHist == nil {
+					cp := st.Latency[i]
+					reqHist = &cp
+				} else if err := reqHist.Merge(st.Latency[i]); err != nil {
+					fmt.Fprintf(os.Stderr, "tigaload: histogram merge %s: %v\n", target, err)
+				}
 			}
 		}
 		if len(targets) > 1 {
@@ -284,15 +318,37 @@ func main() {
 	if wall > 0 {
 		rep.ThroughputRPS = float64(len(all)) / wall.Seconds()
 	}
+	if *soakDur > 0 {
+		rep.SoakSeconds = soakDur.Seconds()
+	}
+	if reqHist != nil && reqHist.Count > 0 {
+		// Daemon-side percentiles, derived from the merged request-duration
+		// histograms (bucket-resolution upper bounds, fleet-wide).
+		rep.ServerLatency = &latencies{
+			P50: reqHist.Quantile(0.50) * 1000,
+			P90: reqHist.Quantile(0.90) * 1000,
+			P99: reqHist.Quantile(0.99) * 1000,
+			Max: reqHist.Quantile(1) * 1000,
+		}
+	}
 
-	fmt.Printf("tigaload: %d sessions x %d requests against %s (%s): %d failed sessions, %d failed requests\n",
-		rep.Sessions, rep.RequestsPerSession, rep.Addr, rep.Model, rep.FailedSessions, rep.FailedRequests)
+	if *soakDur > 0 {
+		fmt.Printf("tigaload: %d sessions x %s soak against %s (%s): %d failed sessions, %d failed requests\n",
+			rep.Sessions, *soakDur, rep.Addr, rep.Model, rep.FailedSessions, rep.FailedRequests)
+	} else {
+		fmt.Printf("tigaload: %d sessions x %d requests against %s (%s): %d failed sessions, %d failed requests\n",
+			rep.Sessions, rep.RequestsPerSession, rep.Addr, rep.Model, rep.FailedSessions, rep.FailedRequests)
+	}
 	if rep.Timeouts > 0 || rep.Retries > 0 || rep.ChaosSeed != 0 {
 		fmt.Printf("  robustness: %d deadline expiries, %d retries (chaos seed %d)\n",
 			rep.Timeouts, rep.Retries, rep.ChaosSeed)
 	}
 	fmt.Printf("  latency ms: p50=%.1f p90=%.1f p99=%.1f max=%.1f; throughput %.1f req/s\n",
 		rep.Latency.P50, rep.Latency.P90, rep.Latency.P99, rep.Latency.Max, rep.ThroughputRPS)
+	if rep.ServerLatency != nil {
+		fmt.Printf("  server histogram ms (%d requests): p50=%.2f p90=%.2f p99=%.2f\n",
+			reqHist.Count, rep.ServerLatency.P50, rep.ServerLatency.P90, rep.ServerLatency.P99)
+	}
 	if stats != nil {
 		fmt.Printf("  cache: %d hits, %d misses (%d joined in flight); solver: %d solves, %d skeleton hits\n",
 			stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Joined, stats.Solver.Solves, stats.Solver.SkeletonHits)
@@ -332,6 +388,10 @@ func main() {
 		fatal(fmt.Errorf("compiled hits %d below the -min-compiled-hits floor %d", sumCompiled, *minComp))
 	case forwardedHits < *minFwd:
 		fatal(fmt.Errorf("forwarded hits %d below the -min-forwarded-hits floor %d", forwardedHits, *minFwd))
+	case *maxP99MS > 0 && rep.Latency.P99 > *maxP99MS:
+		fatal(fmt.Errorf("p99 latency %.1fms above the -max-p99-ms SLO %.1fms", rep.Latency.P99, *maxP99MS))
+	case *soakDur > 0 && sumPanics > 0 && !*tolerate:
+		fatal(fmt.Errorf("soak run recovered %d panics daemon-side; a soak must be panic-free", sumPanics))
 	}
 }
 
@@ -407,7 +467,9 @@ type report struct {
 	LocalRuns          int64          `json:"local_compiled_runs"`
 	LocalPass          int64          `json:"local_compiled_pass"`
 	CompiledBytes      int64          `json:"local_compiled_bytes"`
+	SoakSeconds        float64        `json:"soak_seconds,omitempty"`
 	Latency            latencies      `json:"latency_ms"`
+	ServerLatency      *latencies     `json:"server_latency_ms,omitempty"`
 	ThroughputRPS      float64        `json:"throughput_rps"`
 	WallMS             int64          `json:"wall_ms"`
 	Stats              *service.Stats `json:"service_stats,omitempty"`

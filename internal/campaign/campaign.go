@@ -107,6 +107,12 @@ type Options struct {
 	// E8). Compilation is decision-equivalent, so the report is
 	// byte-identical either way — only planning and execution time change.
 	DisableCompile bool
+	// ObserveCell, when set, receives the wall-clock duration of every
+	// executed (strategy × IUT) matrix cell. Called from Execute's worker
+	// goroutines, so it must be safe for concurrent use (the service
+	// layer's latency histogram is). Purely observational: it must not
+	// influence scheduling or results.
+	ObserveCell func(d time.Duration)
 }
 
 // consultantFor returns the execution-facing view of a solved strategy:

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tigatest/internal/model"
 	"tigatest/internal/mutate"
@@ -107,7 +108,13 @@ func Execute(suite *Suite, rows []*IUTRow, opts *Options) [][]CellTally {
 				// coordinates so every cell draws an independent stream
 				// regardless of scheduling.
 				cellSeed := deriveSeed(opts.Seed, t.row*len(suite.Entries)+t.entry)
-				matrix[t.row][t.entry] = runner.RunCell(rows[t.row].Factory, opts.Repeats, cellSeed)
+				if opts.ObserveCell != nil {
+					t0 := time.Now()
+					matrix[t.row][t.entry] = runner.RunCell(rows[t.row].Factory, opts.Repeats, cellSeed)
+					opts.ObserveCell(time.Since(t0))
+				} else {
+					matrix[t.row][t.entry] = runner.RunCell(rows[t.row].Factory, opts.Repeats, cellSeed)
+				}
 			}
 		}()
 	}

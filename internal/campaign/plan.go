@@ -122,6 +122,15 @@ type PlanStats struct {
 	// for location goals the per-signature core graph.
 	SkeletonHits   int `json:"skeleton_hits"`
 	SkeletonMisses int `json:"skeleton_misses"`
+	// Solver phase wall-clock totals in nanoseconds (game.Stats phase
+	// timings summed over every per-goal solve; volatile by nature). When
+	// solves are served from an external cache, the producing solve's
+	// phases are re-reported like the counters above.
+	ExploreNanos   int64 `json:"explore_nanos"`
+	CondenseNanos  int64 `json:"condense_nanos"`
+	PropagateNanos int64 `json:"propagate_nanos"`
+	OverlayNanos   int64 `json:"overlay_nanos"`
+	SolveNanos     int64 `json:"solve_nanos"`
 }
 
 func (ps *PlanStats) fold(st game.Stats) {
@@ -130,6 +139,11 @@ func (ps *PlanStats) fold(st game.Stats) {
 	ps.SkeletonCoreMisses += st.SkeletonCoreMisses
 	ps.SkeletonHits += st.SkeletonHits
 	ps.SkeletonMisses += st.SkeletonMisses
+	ps.ExploreNanos += int64(st.ExploreDuration)
+	ps.CondenseNanos += int64(st.CondenseDuration)
+	ps.PropagateNanos += int64(st.PropagateDuration)
+	ps.OverlayNanos += int64(st.OverlayDuration)
+	ps.SolveNanos += int64(st.Duration)
 }
 
 // SolveKey identifies one per-goal solve for external caches

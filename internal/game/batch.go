@@ -17,6 +17,7 @@ package game
 
 import (
 	"fmt"
+	"time"
 
 	"tigatest/internal/dbm"
 	"tigatest/internal/model"
@@ -34,6 +35,7 @@ type skeleton struct {
 	ex          *symbolic.Explorer
 	nodes       []*node // win/goal/deltas of these nodes are never read again
 	transitions int
+	buildDur    time.Duration // wall-clock of the exploration (or overlay replay)
 	cond        *condensation
 	// layers is non-nil for ghost overlays: the ghost value (0 or 1) per
 	// node. The overlay purpose is by construction "the watched edge has
@@ -138,7 +140,9 @@ func (b *Batch) Solve(formula *tctl.Formula, coop bool) (*Result, error) {
 	if hit {
 		s.stats.SkeletonHits++
 	} else {
+		// The solve that misses is the one that paid for the exploration.
 		s.stats.SkeletonMisses++
+		s.stats.ExploreDuration += sk.buildDur
 	}
 	return s.solveOnSkeleton(sk)
 }
@@ -159,10 +163,12 @@ func (b *Batch) coreSkeleton(formula *tctl.Formula) (*skeleton, string, bool, er
 	es := newSolverShell(b.sys, formula, opts)
 	es.exploreOnly = true
 	es.lightStats = true
+	t0 := time.Now()
 	sk, err := b.explore(es)
 	if err != nil {
 		return nil, sig, false, err
 	}
+	sk.buildDur = time.Since(t0)
 	b.graphs[sig] = sk
 	return sk, sig, false, nil
 }
@@ -273,6 +279,7 @@ func (s *solver) solveOnSkeleton(sk *skeleton) (*Result, error) {
 			sk.cond = s.lastCond // first purpose pays the Tarjan pass; later ones reuse
 		}
 	} else {
+		t1 := time.Now()
 		// Seeded worklist instead of the classical round-robin: every node
 		// is evaluated once in reverse id order (leaves of the exploration
 		// first, so information flows backward immediately), and only nodes
@@ -298,6 +305,7 @@ func (s *solver) solveOnSkeleton(sk *skeleton) (*Result, error) {
 				break
 			}
 		}
+		s.stats.PropagateDuration += time.Since(t1)
 	}
 	return s.finishResult()
 }

@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"tigatest/internal/dbm"
 	"tigatest/internal/model"
@@ -35,6 +36,7 @@ func (st *Strategy) Compile() (*CompiledStrategy, error) {
 	if st.formula == nil || st.formula.Objective == tctl.Safety {
 		return nil, fmt.Errorf("game: only reachability strategies compile (safety strategies are consulted via SafeActions)")
 	}
+	t0 := time.Now()
 	cs := &CompiledStrategy{
 		sys:     st.sys,
 		purpose: st.formula.String(),
@@ -85,6 +87,7 @@ func (st *Strategy) Compile() (*CompiledStrategy, error) {
 		}
 	}
 	cs.buildProbes()
+	cs.compileDur = time.Since(t0)
 	return cs, nil
 }
 

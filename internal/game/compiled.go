@@ -26,6 +26,7 @@ package game
 
 import (
 	"fmt"
+	"time"
 
 	"tigatest/internal/dbm"
 	"tigatest/internal/model"
@@ -286,8 +287,17 @@ type CompiledStrategy struct {
 	dim     int
 	nodes   []compiledNode
 
+	// compileDur records the wall-clock Compile spent building the tables
+	// (zero for strategies obtained via Decode); the observability layer's
+	// compile-phase histogram reads it once per actual compilation.
+	compileDur time.Duration
+
 	enc encodeCache
 }
+
+// CompileDuration returns the wall-clock cost of the Compile call that
+// built these tables, or zero for decoded strategies.
+func (cs *CompiledStrategy) CompileDuration() time.Duration { return cs.compileDur }
 
 // System returns the specification the strategy was synthesized for.
 func (cs *CompiledStrategy) System() *model.System { return cs.sys }

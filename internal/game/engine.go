@@ -18,6 +18,7 @@ package game
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tigatest/internal/dbm"
 	"tigatest/internal/symbolic"
@@ -224,6 +225,7 @@ func (s *solver) exploreOne(id int, buf []symbolic.Succ, wst *Stats) ([]symbolic
 // local convergence in reverse topological order reaches the global least
 // fixpoint in a single pass over the condensation.
 func (s *solver) runParallelBackward() error {
+	t0 := time.Now()
 	for len(s.exploreQ) > 0 {
 		if err := s.checkBudget(); err != nil {
 			return err
@@ -234,6 +236,7 @@ func (s *solver) runParallelBackward() error {
 			return err
 		}
 	}
+	s.stats.ExploreDuration += time.Since(t0)
 	seeds := s.reevalQ
 	s.reevalQ = nil
 	return s.propagate(seeds, false)

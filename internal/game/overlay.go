@@ -24,6 +24,7 @@ package game
 
 import (
 	"fmt"
+	"time"
 
 	"tigatest/internal/model"
 	"tigatest/internal/symbolic"
@@ -73,6 +74,7 @@ func (b *Batch) SolveEdgeGhost(inst *model.System, formula *tctl.Formula, edgeID
 		s.stats.SkeletonCoreHits++
 	} else {
 		s.stats.SkeletonCoreMisses++
+		s.stats.ExploreDuration += core.buildDur
 	}
 
 	key := overlayKey{sig: sig, edge: edgeID}
@@ -82,9 +84,12 @@ func (b *Batch) SolveEdgeGhost(inst *model.System, formula *tctl.Formula, edgeID
 	} else {
 		s.stats.SkeletonMisses++
 		var err error
+		t0 := time.Now()
 		if ov, err = ghostOverlay(core, edgeID, s.workers > 1, b.opts.MaxNodes, b.opts.Cancel); err != nil {
 			return nil, err
 		}
+		ov.buildDur = time.Since(t0)
+		s.stats.OverlayDuration += ov.buildDur
 		if b.overlays == nil {
 			b.overlays = make(map[overlayKey]*skeleton, overlayCacheCap)
 		}

@@ -84,6 +84,7 @@ func (s *solver) propagate(seeds []int, checkEarly bool) error {
 	if len(seeds) == 0 {
 		return nil
 	}
+	defer func(t0 time.Time) { s.stats.PropagateDuration += time.Since(t0) }(time.Now())
 	cond := s.condense()
 	p := &propagator{
 		s:          s,

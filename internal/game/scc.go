@@ -10,6 +10,8 @@
 
 package game
 
+import "time"
+
 // tarjanUndef marks an unvisited node in tarjanSCC.
 const tarjanUndef = int32(-1)
 
@@ -126,6 +128,7 @@ func (s *solver) condense() *condensation {
 		s.stats.CondensationReuses++
 		return s.lastCond
 	}
+	defer func(t0 time.Time) { s.stats.CondenseDuration += time.Since(t0) }(time.Now())
 	compOf, comps := tarjanSCC(n,
 		func(u int) int { return len(s.nodes[u].succs) },
 		func(u, i int) int { return s.nodes[u].succs[i].target },

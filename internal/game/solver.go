@@ -141,6 +141,20 @@ type Stats struct {
 	SkeletonMisses     int
 	SkeletonCoreHits   int
 	SkeletonCoreMisses int
+
+	// Phase wall-clock breakdown (the observability layer's solver phase
+	// timings). ExploreDuration covers forward exploration — for batch
+	// solves the skeleton build, charged to the solve that missed the
+	// skeleton cache; PropagateDuration the backward fixpoint including
+	// the condensation passes it triggers; CondenseDuration those Tarjan
+	// passes alone (a subset of PropagateDuration under the parallel
+	// engine); OverlayDuration the ghost-overlay graph replay. The serial
+	// on-the-fly engine interleaves exploration and propagation per node
+	// and leaves both unattributed (Duration still covers everything).
+	ExploreDuration   time.Duration
+	CondenseDuration  time.Duration
+	PropagateDuration time.Duration
+	OverlayDuration   time.Duration
 }
 
 // Result of a solve run.
@@ -388,6 +402,7 @@ func (s *solver) run() error {
 	}
 	if s.opts.Algorithm == Backward {
 		// Phase 1: full forward exploration.
+		t0 := time.Now()
 		for len(s.exploreQ) > 0 {
 			if err := s.checkBudget(); err != nil {
 				return err
@@ -398,6 +413,8 @@ func (s *solver) run() error {
 				return err
 			}
 		}
+		s.stats.ExploreDuration += time.Since(t0)
+		defer func(t1 time.Time) { s.stats.PropagateDuration += time.Since(t1) }(time.Now())
 		// Phase 2: round-robin fixpoint.
 		for changed := true; changed; {
 			changed = false

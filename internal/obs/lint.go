@@ -1,0 +1,141 @@
+// Exposition-format lint: a structural check over the Prometheus text
+// format the daemon serves. Not a full parser — it enforces the contract
+// the metrics writer must keep (HELP and TYPE before every series, one
+// block per family, no duplicate family names) so a regression fails a
+// unit test instead of a scrape.
+
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// LintExposition validates data as Prometheus text exposition format
+// (version 0.0.4) at the structural level: every sample line must belong
+// to the family most recently declared by a `# HELP`/`# TYPE` pair (in
+// that order), families must not repeat, and histogram families must
+// carry consistent _bucket/_sum/_count series (the +Inf bucket equal to
+// _count). Returns the first violation found.
+func LintExposition(data []byte) error {
+	type family struct {
+		typ      string
+		helped   bool
+		typed    bool
+		infCount int64
+		hasInf   bool
+		count    int64
+		hasCount bool
+	}
+	fams := map[string]*family{}
+	var cur *family
+	var curName string
+	lineNo := 0
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			if name == "" {
+				return fmt.Errorf("line %d: HELP without a metric name", lineNo)
+			}
+			if fams[name] != nil {
+				return fmt.Errorf("line %d: duplicate family %s", lineNo, name)
+			}
+			cur = &family{helped: true}
+			curName = name
+			fams[name] = cur
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			name, typ := fields[0], fields[1]
+			if cur == nil || name != curName || !cur.helped {
+				return fmt.Errorf("line %d: TYPE %s without a preceding HELP", lineNo, name)
+			}
+			if cur.typed {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			cur.typed = true
+			cur.typ = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal anywhere
+		}
+
+		// Sample line: metric_name{labels} value
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		if name == "" {
+			return fmt.Errorf("line %d: malformed sample line %q", lineNo, line)
+		}
+		base := name
+		suffix := ""
+		if fams[name] == nil || name != curName {
+			// Not a family of its own (in the current block): try the
+			// histogram suffixes against the enclosing family.
+			for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, sfx) && fams[strings.TrimSuffix(name, sfx)] != nil {
+					base = strings.TrimSuffix(name, sfx)
+					suffix = sfx
+					break
+				}
+			}
+		}
+		fam := fams[base]
+		if fam == nil || fam != cur || base != curName {
+			return fmt.Errorf("line %d: series %s outside its HELP/TYPE block", lineNo, name)
+		}
+		if !fam.typed {
+			return fmt.Errorf("line %d: series %s before its TYPE line", lineNo, name)
+		}
+		if fam.typ == "histogram" {
+			var v int64
+			if i := strings.LastIndexByte(line, ' '); i >= 0 {
+				fmt.Sscanf(line[i+1:], "%d", &v)
+			}
+			switch suffix {
+			case "_bucket":
+				if strings.Contains(line, `le="+Inf"`) {
+					fam.infCount, fam.hasInf = v, true
+				}
+			case "_count":
+				fam.count, fam.hasCount = v, true
+			}
+		} else if suffix != "" {
+			return fmt.Errorf("line %d: suffix series %s on non-histogram family %s", lineNo, name, base)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for name, fam := range fams {
+		if !fam.typed {
+			return fmt.Errorf("family %s has HELP but no TYPE", name)
+		}
+		if fam.typ == "histogram" {
+			if !fam.hasInf || !fam.hasCount {
+				return fmt.Errorf("histogram %s missing +Inf bucket or _count", name)
+			}
+			if fam.infCount != fam.count {
+				return fmt.Errorf("histogram %s: +Inf bucket %d != _count %d", name, fam.infCount, fam.count)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExpBounds(t *testing.T) {
+	b := ExpBounds(0.001, 2, 4)
+	want := []float64{0.001, 0.002, 0.004, 0.008}
+	if len(b) != len(want) {
+		t.Fatalf("got %v", b)
+	}
+	for i := range b {
+		if diff := b[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("bound %d: got %v want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	h := NewHistogram("x_seconds", "test", []float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(50 * time.Millisecond)  // bucket 2
+	h.Observe(5 * time.Second)        // +Inf
+	h.Observe(-time.Second)           // clamped to 0, bucket 0
+
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	wantCounts := []int64{2, 1, 1, 1}
+	for i, c := range s.Counts {
+		if c != wantCounts[i] {
+			t.Fatalf("counts = %v, want %v", s.Counts, wantCounts)
+		}
+	}
+	// Boundary value lands in the bucket whose bound it equals (le is <=).
+	h2 := NewHistogram("y_seconds", "test", []float64{0.001})
+	h2.Observe(time.Millisecond)
+	if s2 := h2.Snapshot(); s2.Counts[0] != 1 {
+		t.Fatalf("boundary observation escaped its le bucket: %v", s2.Counts)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many writers under
+// the race detector: the merged snapshot must account for every
+// observation exactly once.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("c_seconds", "test", ExpBounds(0.0001, 4, 8))
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(time.Duration(w*perWriter+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perWriter)
+	}
+	var sum int64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+func TestSnapshotMergeAndQuantile(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1, 1}
+	a := NewHistogram("m_seconds", "test", bounds)
+	b := NewHistogram("m_seconds", "test", bounds)
+	for i := 0; i < 90; i++ {
+		a.Observe(500 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		b.Observe(500 * time.Millisecond)
+	}
+	s := a.Snapshot()
+	if err := s.Merge(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 100 {
+		t.Fatalf("merged count = %d", s.Count)
+	}
+	if p50 := s.Quantile(0.5); p50 > 0.001 {
+		t.Fatalf("p50 = %v, want <= 0.001", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 0.1 || p99 > 1 {
+		t.Fatalf("p99 = %v, want in (0.1, 1]", p99)
+	}
+	var zero Snapshot
+	if err := zero.Merge(s); err != nil || zero.Count != 100 {
+		t.Fatalf("merge into zero snapshot: %v count=%d", err, zero.Count)
+	}
+	bad := NewHistogram("m_seconds", "test", []float64{1}).Snapshot()
+	bad.Counts[0] = 1
+	bad.Count = 1
+	if err := s.Merge(bad); err == nil {
+		t.Fatal("merging mismatched layouts must fail")
+	}
+}
+
+func TestWritePromAndLint(t *testing.T) {
+	h := NewHistogram("tigad_test_duration_seconds", "Test latency.", ExpBounds(0.001, 10, 4))
+	h.Observe(2 * time.Millisecond)
+	h.Observe(2 * time.Second)
+	var buf bytes.Buffer
+	if err := h.Snapshot().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE tigad_test_duration_seconds histogram",
+		`tigad_test_duration_seconds_bucket{le="0.01"} 1`,
+		`tigad_test_duration_seconds_bucket{le="+Inf"} 2`,
+		"tigad_test_duration_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := LintExposition(buf.Bytes()); err != nil {
+		t.Fatalf("lint rejects our own output: %v", err)
+	}
+}
+
+func TestLintRejects(t *testing.T) {
+	cases := map[string]string{
+		"series without header": "foo 1\n",
+		"type before help":      "# TYPE foo counter\nfoo 1\n",
+		"duplicate family":      "# HELP foo a\n# TYPE foo counter\nfoo 1\n# HELP foo a\n# TYPE foo counter\nfoo 2\n",
+		"inf != count":          "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 2\n",
+		"stray series":          "# HELP foo a\n# TYPE foo counter\nbar 1\n",
+	}
+	for name, src := range cases {
+		if err := LintExposition([]byte(src)); err == nil {
+			t.Errorf("%s: lint accepted invalid exposition", name)
+		}
+	}
+}
+
+func TestTracerIDs(t *testing.T) {
+	if s := FormatID(0xdeadbeef); s != "00000000deadbeef" {
+		t.Fatalf("FormatID = %q", s)
+	}
+	if v, ok := ParseID("00000000deadbeef"); !ok || v != 0xdeadbeef {
+		t.Fatalf("ParseID = %x %v", v, ok)
+	}
+	for _, bad := range []string{"", "xyz", "0000000000000000", "deadbeef"} {
+		if _, ok := ParseID(bad); ok {
+			t.Fatalf("ParseID accepted %q", bad)
+		}
+	}
+}
+
+func TestTracerSpans(t *testing.T) {
+	tr := NewTracer(1, 16, nil)
+	root := tr.StartTrace("request")
+	child := tr.StartSpan(root.Context(), "solve")
+	child.SetNote("miss")
+	child.End()
+	root.End()
+
+	recs := tr.Recent("", 0)
+	if len(recs) != 2 {
+		t.Fatalf("ring holds %d records, want 2", len(recs))
+	}
+	// child ended first.
+	if recs[0].Name != "solve" || recs[1].Name != "request" {
+		t.Fatalf("unexpected order: %v", recs)
+	}
+	if recs[0].TraceID != recs[1].TraceID {
+		t.Fatalf("spans of one trace disagree on trace id: %v", recs)
+	}
+	if recs[0].ParentID != recs[1].SpanID {
+		t.Fatalf("child parent %q != root span %q", recs[0].ParentID, recs[1].SpanID)
+	}
+	if recs[0].Note != "miss" {
+		t.Fatalf("note lost: %v", recs[0])
+	}
+
+	// Filtering by trace id.
+	other := tr.StartTrace("other")
+	other.End()
+	if got := tr.Recent(recs[0].TraceID, 0); len(got) != 2 {
+		t.Fatalf("trace filter returned %d records, want 2", len(got))
+	}
+}
+
+func TestTracerAdoptAndRing(t *testing.T) {
+	tr := NewTracer(7, 4, nil)
+	remote := tr.StartTrace("remote")
+	sp := tr.Adopt(FormatID(remote.Context().TraceID), FormatID(remote.Context().SpanID), "local")
+	if sp.Context().TraceID != remote.Context().TraceID {
+		t.Fatal("Adopt must continue the remote trace")
+	}
+	sp.End()
+	// Garbage ids mint a fresh trace rather than failing.
+	fresh := tr.Adopt("nonsense", "", "local")
+	if !fresh.Context().Valid() {
+		t.Fatal("Adopt with garbage must mint a trace")
+	}
+	fresh.End()
+
+	// Ring wraps: capacity 4, record 6 spans, keep the newest 4.
+	for i := 0; i < 6; i++ {
+		s := tr.StartTrace(fmt.Sprintf("s%d", i))
+		s.End()
+	}
+	recs := tr.Recent("", 0)
+	if len(recs) != 4 {
+		t.Fatalf("wrapped ring holds %d, want 4", len(recs))
+	}
+	if recs[len(recs)-1].Name != "s5" {
+		t.Fatalf("newest record is %q, want s5", recs[len(recs)-1].Name)
+	}
+	if got := tr.Recent("", 2); len(got) != 2 || got[1].Name != "s5" {
+		t.Fatalf("max filter wrong: %v", got)
+	}
+}
+
+// TestNilSafety pins the disabled-observability contract: nil receivers
+// are inert everywhere.
+func TestNilSafety(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot must be empty")
+	}
+	var tr *Tracer
+	sp := tr.StartTrace("x")
+	sp.SetNote("n")
+	sp.SetErr("e")
+	sp.End()
+	if sp.Context().Valid() {
+		t.Fatal("nil tracer must not mint contexts")
+	}
+	if tr.Recent("", 0) != nil {
+		t.Fatal("nil tracer Recent must be nil")
+	}
+	child := tr.StartSpan(sp.Context(), "y")
+	child.End()
+}

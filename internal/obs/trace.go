@@ -1,0 +1,247 @@
+// Request tracing: trace/span identifiers, timed spans, and a bounded
+// ring of finished span records. IDs are 64-bit splitmix64 outputs — the
+// same generator the load generator uses for seed derivation — rendered
+// as 16 hex digits on the wire so old peers can carry (or drop) them as
+// opaque strings.
+
+package obs
+
+import (
+	"log/slog"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext identifies one span within one trace. The zero value means
+// "no trace" (ids are never minted as zero).
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context carries a real trace.
+func (c SpanContext) Valid() bool { return c.TraceID != 0 }
+
+// FormatID renders a trace or span id as the 16-hex-digit wire form.
+func FormatID(id uint64) string {
+	const hexdig = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdig[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseID parses the 16-hex-digit wire form; ok is false for anything
+// else (including empty — absent trace fields parse to no trace).
+func ParseID(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || v == 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// splitmix64 steps the id generator state; the output is well-mixed even
+// for sequential states (Steele et al., "Fast splittable pseudorandom
+// number generators").
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SpanRecord is one finished span as stored in the ring and served by the
+// daemon's `trace` op. IDs are in wire form (16 hex digits).
+type SpanRecord struct {
+	TraceID       string `json:"trace_id"`
+	SpanID        string `json:"span_id"`
+	ParentID      string `json:"parent_id,omitempty"`
+	Name          string `json:"name"`
+	StartUnixNano int64  `json:"start_unix_nano"`
+	DurationNanos int64  `json:"duration_nanos"`
+	Note          string `json:"note,omitempty"`
+	Err           string `json:"err,omitempty"`
+}
+
+// Tracer mints span contexts and retains the most recent finished spans
+// in a fixed-size ring. Safe for concurrent use.
+type Tracer struct {
+	state  atomic.Uint64
+	logger *slog.Logger
+
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int
+	full bool
+}
+
+// NewTracer builds a tracer seeded with the given value (0 picks a fixed
+// default; determinism of ids is a test convenience, uniqueness is what
+// production needs). ringCap bounds the retained finished spans; logger,
+// when non-nil, receives one Debug record per finished span.
+func NewTracer(seed uint64, ringCap int, logger *slog.Logger) *Tracer {
+	if ringCap <= 0 {
+		ringCap = 256
+	}
+	t := &Tracer{ring: make([]SpanRecord, ringCap), logger: logger}
+	t.state.Store(seed)
+	return t
+}
+
+// nextID returns a fresh non-zero id.
+func (t *Tracer) nextID() uint64 {
+	for {
+		if id := splitmix64(t.state.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+// Span is one in-flight timed operation. All methods are nil-safe, so
+// callers thread spans unconditionally and a disabled tracer costs only
+// nil checks.
+type Span struct {
+	tr     *Tracer
+	ctx    SpanContext
+	parent uint64
+	name   string
+	start  time.Time
+	note   string
+	err    string
+}
+
+// StartTrace mints a new trace with its root span.
+func (t *Tracer) StartTrace(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.start(SpanContext{TraceID: t.nextID(), SpanID: t.nextID()}, 0, name)
+}
+
+// StartSpan opens a child span of parent. An invalid parent starts a new
+// trace instead, so callers never check before instrumenting.
+func (t *Tracer) StartSpan(parent SpanContext, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if !parent.Valid() {
+		return t.StartTrace(name)
+	}
+	return t.start(SpanContext{TraceID: parent.TraceID, SpanID: t.nextID()}, parent.SpanID, name)
+}
+
+// Adopt continues a trace received over the wire: the remote span becomes
+// the parent of locally opened spans. Invalid ids mint a fresh trace.
+func (t *Tracer) Adopt(traceID, spanID string, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	tid, ok1 := ParseID(traceID)
+	sid, ok2 := ParseID(spanID)
+	if !ok1 {
+		return t.StartTrace(name)
+	}
+	parent := SpanContext{TraceID: tid}
+	if ok2 {
+		parent.SpanID = sid
+	}
+	return t.StartSpan(parent, name)
+}
+
+func (t *Tracer) start(ctx SpanContext, parent uint64, name string) *Span {
+	return &Span{tr: t, ctx: ctx, parent: parent, name: name, start: time.Now()}
+}
+
+// Context returns the span's context for propagation (zero when nil).
+func (sp *Span) Context() SpanContext {
+	if sp == nil {
+		return SpanContext{}
+	}
+	return sp.ctx
+}
+
+// SetNote attaches a short free-form annotation (cache outcome, peer
+// address) to the record End will emit.
+func (sp *Span) SetNote(note string) {
+	if sp != nil {
+		sp.note = note
+	}
+}
+
+// SetErr marks the span failed; empty strings are ignored.
+func (sp *Span) SetErr(err string) {
+	if sp != nil && err != "" {
+		sp.err = err
+	}
+}
+
+// End finishes the span: the record enters the tracer's ring and, when a
+// logger is configured, one Debug record is emitted. Calling End twice
+// records the span twice; callers pair every Start with exactly one End.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	rec := SpanRecord{
+		TraceID:       FormatID(sp.ctx.TraceID),
+		SpanID:        FormatID(sp.ctx.SpanID),
+		Name:          sp.name,
+		StartUnixNano: sp.start.UnixNano(),
+		DurationNanos: int64(time.Since(sp.start)),
+		Note:          sp.note,
+		Err:           sp.err,
+	}
+	if sp.parent != 0 {
+		rec.ParentID = FormatID(sp.parent)
+	}
+	t := sp.tr
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+	if t.logger != nil && t.logger.Enabled(nil, slog.LevelDebug) {
+		t.logger.Debug("span",
+			"trace_id", rec.TraceID, "span_id", rec.SpanID, "parent_id", rec.ParentID,
+			"name", rec.Name, "duration", time.Duration(rec.DurationNanos),
+			"note", rec.Note, "err", rec.Err)
+	}
+}
+
+// Recent returns the retained finished spans, oldest first. A non-empty
+// traceID (wire form) filters to one trace; max > 0 caps the result
+// (keeping the newest). Nil-safe: a nil tracer returns nil.
+func (t *Tracer) Recent(traceID string, max int) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	var out []SpanRecord
+	appendFrom := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if traceID == "" || t.ring[i].TraceID == traceID {
+				out = append(out, t.ring[i])
+			}
+		}
+	}
+	if t.full {
+		appendFrom(t.next, len(t.ring))
+	}
+	appendFrom(0, t.next)
+	t.mu.Unlock()
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}

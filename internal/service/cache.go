@@ -94,9 +94,11 @@ func newStrategyCache() *strategyCache {
 // caller's withdrawal signal (the request deadline): once it closes, get
 // returns ErrDeadline immediately — the solve itself keeps running as long
 // as any other waiter remains, and is canceled (via the cancel channel
-// handed to solve) when the last one withdraws. Lock order: c.mu before
-// e.mu, never the reverse.
-func (c *strategyCache) get(key cacheKey, done <-chan struct{}, solve func(cancel <-chan struct{}) (*game.Result, error)) (*game.Result, error) {
+// handed to solve) when the last one withdraws. note, when non-nil, is
+// told this caller's lookup outcome ("hit", "join" or "miss") the moment
+// it is decided — purely observational (the service layer's trace spans).
+// Lock order: c.mu before e.mu, never the reverse.
+func (c *strategyCache) get(key cacheKey, done <-chan struct{}, solve func(cancel <-chan struct{}) (*game.Result, error), note func(outcome string)) (*game.Result, error) {
 	for {
 		c.mu.Lock()
 		if e, ok := c.entries[key]; ok {
@@ -105,6 +107,9 @@ func (c *strategyCache) get(key cacheKey, done <-chan struct{}, solve func(cance
 				// Completed entry: only successes stay in the map.
 				c.mu.Unlock()
 				c.hits.Add(1)
+				if note != nil {
+					note("hit")
+				}
 				return e.res, e.err
 			default:
 			}
@@ -119,6 +124,9 @@ func (c *strategyCache) get(key cacheKey, done <-chan struct{}, solve func(cance
 				c.mu.Unlock()
 				c.hits.Add(1)
 				c.joined.Add(1)
+				if note != nil {
+					note("join")
+				}
 				res, err, withdrawn := c.await(e, done)
 				if withdrawn {
 					return nil, ErrDeadline
@@ -141,6 +149,9 @@ func (c *strategyCache) get(key cacheKey, done <-chan struct{}, solve func(cance
 		c.misses.Add(1)
 		c.inflight.Add(1)
 		c.mu.Unlock()
+		if note != nil {
+			note("miss")
+		}
 		go c.runSolve(key, e, solve)
 		res, err, withdrawn := c.await(e, done)
 		if withdrawn {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"tigatest/internal/adapter"
+	"tigatest/internal/obs"
 	"tigatest/internal/tiots"
 )
 
@@ -238,4 +239,16 @@ func (c *Client) Stats() (*Stats, error) {
 		return nil, err
 	}
 	return resp.Stats, nil
+}
+
+// Trace fetches the daemon's retained finished spans, oldest first. A
+// non-empty traceID (16-hex-digit wire form) filters to one trace; limit
+// caps the result (0 = server default). Empty on a daemon running with
+// observability disabled.
+func (c *Client) Trace(traceID string, limit int) ([]obs.SpanRecord, error) {
+	resp, err := c.do(&Request{Op: "trace", TraceID: traceID, Limit: limit}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Spans, nil
 }

@@ -341,7 +341,7 @@ func (s *Service) clusterResolve(me *modelEntry, f *tctl.Formula, sig string, re
 	}
 	pk := peerKey{model: me.hash, sig: sig, purpose: purpose, mode: mode}
 	pr, err := s.cl.tier2.do(pk, done, func() (*peerResult, error) {
-		return s.forwardStrategy(owner, me, req.Model, purpose, mode)
+		return s.forwardStrategy(owner, me, req, purpose, mode)
 	})
 	if err == nil {
 		s.cl.peerHits.Add(1)
@@ -363,17 +363,35 @@ func (s *Service) clusterResolve(me *modelEntry, f *tctl.Formula, sig string, re
 // copy of the model, match its advertised checksum, and answer the
 // purpose we asked for. Transport failures and draining answers mark the
 // owner down so the ring reassigns its keys immediately.
-func (s *Service) forwardStrategy(owner cluster.Member, me *modelEntry, modelName, purpose, mode string) (*peerResult, error) {
+//
+// req is the originating client request: its stamped trace context rides
+// the outbound forward, so the owner's spans join the forwarder's trace.
+// The fetch is singleflighted (peerCache.do), so the forward span and the
+// RTT observation belong to the request that started the forward; joiners
+// ride along untraced.
+func (s *Service) forwardStrategy(owner cluster.Member, me *modelEntry, req *Request, purpose, mode string) (pr *peerResult, retErr error) {
 	s.cl.forwards.Add(1)
 	timeout := s.cl.opts.ForwardTimeout
+	sp := s.obs.tracer().StartSpan(reqCtx(req), "forward")
+	sp.SetNote(owner.Addr)
+	defer func() {
+		if retErr != nil {
+			sp.SetErr(retErr.Error())
+		}
+		sp.End()
+	}()
+	t0 := time.Now()
 	resp, err := s.cl.link(owner.Addr).roundTrip(&Request{
 		Op:         "peer_strategy",
-		Model:      modelName,
+		Model:      req.Model,
 		ModelHash:  fmt.Sprintf("%016x", me.hash),
 		Purpose:    purpose,
 		Mode:       mode,
 		DeadlineMS: timeout.Milliseconds(),
+		TraceID:    req.TraceID,
+		SpanID:     req.SpanID,
 	}, timeout, s.cl.opts.DialWrap)
+	s.obs.forward().Observe(time.Since(t0))
 	if err != nil {
 		s.cl.forwardFails.Add(1)
 		if resp == nil || errors.Is(err, ErrDraining) {

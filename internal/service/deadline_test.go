@@ -56,7 +56,7 @@ func TestCacheSurvivorDeadlineHandoff(t *testing.T) {
 	leaderDone := make(chan struct{})
 	leaderErr := make(chan error, 1)
 	go func() {
-		_, err := c.get(key, leaderDone, solve)
+		_, err := c.get(key, leaderDone, solve, nil)
 		leaderErr <- err
 	}()
 	<-started
@@ -69,7 +69,7 @@ func TestCacheSurvivorDeadlineHandoff(t *testing.T) {
 	go func() {
 		res, err := c.get(key, nil, func(<-chan struct{}) (*game.Result, error) {
 			return nil, fmt.Errorf("joiner must join the in-flight solve, not start its own")
-		})
+		}, nil)
 		joiner <- outcome{res, err}
 	}()
 	waitCounter(t, &c.joined, 1)
@@ -100,7 +100,7 @@ func TestCacheSurvivorDeadlineHandoff(t *testing.T) {
 	// The completed entry serves later requesters as a plain hit.
 	res, err := c.get(key, nil, func(<-chan struct{}) (*game.Result, error) {
 		return nil, fmt.Errorf("completed entry must serve without re-solving")
-	})
+	}, nil)
 	if err != nil || !res.Winnable {
 		t.Fatalf("post-completion hit: res=%+v err=%v", res, err)
 	}
@@ -120,7 +120,7 @@ func TestCacheCancelEvictsAndRetriesFresh(t *testing.T) {
 			close(started)
 			<-cancel
 			return nil, game.ErrCanceled
-		})
+		}, nil)
 		errCh <- err
 	}()
 	<-started
@@ -135,7 +135,7 @@ func TestCacheCancelEvictsAndRetriesFresh(t *testing.T) {
 
 	res, err := c.get(key, nil, func(<-chan struct{}) (*game.Result, error) {
 		return &game.Result{Winnable: true}, nil
-	})
+	}, nil)
 	if err != nil || !res.Winnable {
 		t.Fatalf("fresh retry after cancel: res=%+v err=%v", res, err)
 	}
@@ -151,7 +151,7 @@ func TestCachePanicRecovered(t *testing.T) {
 	key := testKey("panic")
 	_, err := c.get(key, nil, func(<-chan struct{}) (*game.Result, error) {
 		panic("boom")
-	})
+	}, nil)
 	if err == nil || !strings.Contains(err.Error(), "solve panicked") {
 		t.Fatalf("want a recovered panic error, got %v", err)
 	}
@@ -163,7 +163,7 @@ func TestCachePanicRecovered(t *testing.T) {
 	}
 	res, err := c.get(key, nil, func(<-chan struct{}) (*game.Result, error) {
 		return &game.Result{Winnable: true}, nil
-	})
+	}, nil)
 	if err != nil || !res.Winnable {
 		t.Fatalf("retry after panic: res=%+v err=%v", res, err)
 	}

@@ -20,6 +20,8 @@ package service
 
 import (
 	"encoding/json"
+
+	"tigatest/internal/obs"
 )
 
 // Request is one control-API call.
@@ -64,6 +66,17 @@ type Request struct {
 	// match its own registration — two fleets must never cross-pollinate
 	// strategies for models that merely share a name.
 	ModelHash string `json:"model_hash,omitempty"`
+	// TraceID/SpanID propagate request tracing (16 lowercase hex digits
+	// each; docs/WIRE.md). On a client request they adopt an existing
+	// trace; on a peer_strategy forward they carry the forwarder's root
+	// span so both daemons' spans share one trace. Optional: daemons
+	// without observability (and older peers) ignore them. On a "trace"
+	// request TraceID filters the returned spans instead.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
+	// Limit bounds the spans a "trace" request returns (0 = server
+	// default).
+	Limit int `json:"limit,omitempty"`
 }
 
 // Response is one control-API reply (or the session greeting).
@@ -90,6 +103,9 @@ type Response struct {
 	Stats  *Stats          `json:"stats,omitempty"`
 	// Peer answers a peer_ping health probe.
 	Peer *PeerInfo `json:"peer,omitempty"`
+	// Spans answers a trace request: retained finished spans, oldest
+	// first (empty when observability is disabled).
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
 }
 
 // PeerInfo is the peer_ping payload: the answering daemon's cluster
@@ -184,7 +200,10 @@ type SessionStats struct {
 // SolverStats aggregate game.Stats over every solve the service ran. The
 // SkeletonCore counters track shared-core campaign planning: ghost-overlay
 // edge-goal solves that reused (hit) or explored (missed) the model's
-// un-instrumented core skeleton.
+// un-instrumented core skeleton. The *Nanos counters accumulate per-phase
+// solver wall-clock (game.Stats durations; see that type for the
+// attribution rules) — SolveNanos is whole solves, the phase counters the
+// attributed subsets.
 type SolverStats struct {
 	Solves             int64 `json:"solves"`
 	SkeletonHits       int64 `json:"skeleton_hits"`
@@ -192,6 +211,12 @@ type SolverStats struct {
 	SkeletonCoreHits   int64 `json:"skeleton_core_hits"`
 	SkeletonCoreMisses int64 `json:"skeleton_core_misses"`
 	CondensationReuses int64 `json:"condensation_reuses"`
+
+	SolveNanos     int64 `json:"solve_nanos"`
+	ExploreNanos   int64 `json:"explore_nanos"`
+	CondenseNanos  int64 `json:"condense_nanos"`
+	PropagateNanos int64 `json:"propagate_nanos"`
+	OverlayNanos   int64 `json:"overlay_nanos"`
 }
 
 // ClusterStats are the fleet counters of one daemon. PeerHits counts
@@ -235,4 +260,9 @@ type Stats struct {
 	Solver   SolverStats   `json:"solver"`
 	Cluster  *ClusterStats `json:"cluster,omitempty"`
 	Models   []ModelInfo   `json:"models"`
+	// Latency are the latency histogram snapshots (absent when
+	// observability is disabled). Clients derive percentiles with
+	// obs.Snapshot.Quantile; tigaload's soak SLO reads the request
+	// histogram here.
+	Latency []obs.Snapshot `json:"latency,omitempty"`
 }

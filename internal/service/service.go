@@ -20,6 +20,7 @@ package service
 
 import (
 	"fmt"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"tigatest/internal/campaign"
 	"tigatest/internal/game"
 	"tigatest/internal/model"
+	"tigatest/internal/obs"
 	"tigatest/internal/tctl"
 	"tigatest/internal/texec"
 	"tigatest/internal/tiots"
@@ -52,6 +54,16 @@ type Options struct {
 	RequestTimeout time.Duration
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
+	// DisableObs turns the observability layer off (ablation E9, `tigad
+	// -obs=false`): no latency histograms, no request tracing, no access
+	// log. The stats payload then carries no latency section and the
+	// trace op returns no spans; responses are unchanged otherwise.
+	DisableObs bool
+	// Slog, when set, receives structured records: one Info access-log
+	// line per request and one Debug record per finished span. Nil keeps
+	// structured logging off (tracing still records to the in-memory
+	// ring). Ignored when DisableObs is set.
+	Slog *slog.Logger
 }
 
 // modelEntry is one registered model with its solver state.
@@ -104,6 +116,18 @@ type Service struct {
 	skeletonCoreHits   atomic.Int64
 	skeletonCoreMisses atomic.Int64
 	condensationReuses atomic.Int64
+
+	// Per-phase solver wall-clock, folded from game.Stats by noteSolve.
+	solveNanos     atomic.Int64
+	exploreNanos   atomic.Int64
+	condenseNanos  atomic.Int64
+	propagateNanos atomic.Int64
+	overlayNanos   atomic.Int64
+
+	// obs is the observability layer; nil when Options.DisableObs is set
+	// (every obsState accessor is nil-safe, so instrumentation sites need
+	// no guards).
+	obs *obsState
 }
 
 // New creates a service with no models registered.
@@ -117,12 +141,18 @@ func New(opts Options) *Service {
 	if opts.Solver.PropagationWorkers == 0 {
 		opts.Solver.PropagationWorkers = 1
 	}
-	return &Service{
+	s := &Service{
 		opts:     opts,
 		cache:    newStrategyCache(),
 		models:   map[string]*modelEntry{},
 		sessions: map[*session]struct{}{},
 	}
+	if !opts.DisableObs {
+		// The trace-ID seed only needs uniqueness across daemon restarts,
+		// not unpredictability.
+		s.obs = newObsState(opts.Slog, uint64(time.Now().UnixNano()), 0)
+	}
+	return s
 }
 
 func (s *Service) logf(format string, args ...any) {
@@ -299,7 +329,7 @@ func (s *Service) Draining() bool {
 }
 
 // noteSolve folds a completed solve's statistics into the service
-// aggregates.
+// aggregates and observes its wall-clock in the solve histogram.
 func (s *Service) noteSolve(st game.Stats) {
 	s.solves.Add(1)
 	s.skeletonHits.Add(int64(st.SkeletonHits))
@@ -307,6 +337,32 @@ func (s *Service) noteSolve(st game.Stats) {
 	s.skeletonCoreHits.Add(int64(st.SkeletonCoreHits))
 	s.skeletonCoreMisses.Add(int64(st.SkeletonCoreMisses))
 	s.condensationReuses.Add(int64(st.CondensationReuses))
+	s.solveNanos.Add(int64(st.Duration))
+	s.exploreNanos.Add(int64(st.ExploreDuration))
+	s.condenseNanos.Add(int64(st.CondenseDuration))
+	s.propagateNanos.Add(int64(st.PropagateDuration))
+	s.overlayNanos.Add(int64(st.OverlayDuration))
+	s.obs.solve().Observe(st.Duration)
+}
+
+// noteCompile eagerly compiles a freshly solved winnable strategy under a
+// compile span and observes the compilation cost. Only called with
+// observability enabled, from the solve closure that produced res, so
+// every Result is observed at most once (CompiledStrategy itself compiles
+// once and caches). With observability disabled compilation stays lazy,
+// exactly as before.
+func (s *Service) noteCompile(res *game.Result, ctx obs.SpanContext) {
+	if s.obs == nil || res == nil || !res.Winnable {
+		return
+	}
+	sp := s.obs.tracer().StartSpan(ctx, "compile")
+	cs, err := res.CompiledStrategy()
+	if err != nil {
+		sp.SetErr(err.Error())
+	} else {
+		s.obs.compile().Observe(cs.CompileDuration())
+	}
+	sp.End()
 }
 
 // solveVia is the campaign planner's SolveVia hook: it content-addresses
@@ -318,7 +374,9 @@ func (s *Service) noteSolve(st game.Stats) {
 // explored core skeleton. done is the requester's withdrawal signal (the
 // request deadline); the cache hands the solve its own cancel channel,
 // which closes only when every waiting requester has withdrawn.
-func (s *Service) solveVia(me *modelEntry, done <-chan struct{}) func(campaign.SolveKey, func() (*game.Result, error)) (*game.Result, error) {
+// tctx is the request's trace context; nil-safe obs plumbing means a
+// zero SpanContext (observability off) costs nothing.
+func (s *Service) solveVia(me *modelEntry, done <-chan struct{}, tctx obs.SpanContext) func(campaign.SolveKey, func() (*game.Result, error)) (*game.Result, error) {
 	return func(key campaign.SolveKey, solve func() (*game.Result, error)) (*game.Result, error) {
 		ck := cacheKey{
 			model:   me.hash,
@@ -332,12 +390,37 @@ func (s *Service) solveVia(me *modelEntry, done <-chan struct{}) func(campaign.S
 			defer me.solveMu.Unlock()
 			me.batch.SetCancel(cancel)
 			defer me.batch.SetCancel(nil)
+			sp := s.obs.tracer().StartSpan(tctx, "solve")
+			sp.SetNote(key.Purpose)
 			res, err := solve()
 			if err == nil {
 				s.noteSolve(res.Stats)
+			} else {
+				sp.SetErr(err.Error())
+			}
+			sp.End()
+			if err == nil {
+				s.noteCompile(res, tctx)
 			}
 			return res, err
-		})
+		}, s.cacheNote(tctx, key.Purpose))
+	}
+}
+
+// cacheNote returns the cache-outcome callback handed to cache.get: an
+// event-style span named "cache.<outcome>" ("hit", "join" or "miss")
+// under the request's trace. A join span marks the moment the requester
+// attached to an in-flight solve — the wait itself is covered by that
+// solve's span. Nil when observability is disabled, so the cache skips
+// the callback entirely.
+func (s *Service) cacheNote(tctx obs.SpanContext, purpose string) func(outcome string) {
+	if s.obs == nil {
+		return nil
+	}
+	return func(outcome string) {
+		sp := s.obs.tracer().StartSpan(tctx, "cache."+outcome)
+		sp.SetNote(purpose)
+		sp.End()
 	}
 }
 
@@ -347,7 +430,7 @@ func (s *Service) solveVia(me *modelEntry, done <-chan struct{}) func(campaign.S
 // "strict" or "cooperative". done, when non-nil, withdraws this requester
 // from the solve (ErrDeadline); the solve itself is canceled only when its
 // last waiter withdraws.
-func (s *Service) synthesize(me *modelEntry, f *tctl.Formula, sig, mode string, done <-chan struct{}) (*game.Result, error) {
+func (s *Service) synthesize(me *modelEntry, f *tctl.Formula, sig, mode string, done <-chan struct{}, tctx obs.SpanContext) (*game.Result, error) {
 	solve := func(coop bool) (*game.Result, error) {
 		key := cacheKey{
 			model:   me.hash,
@@ -361,12 +444,20 @@ func (s *Service) synthesize(me *modelEntry, f *tctl.Formula, sig, mode string, 
 			defer me.solveMu.Unlock()
 			me.batch.SetCancel(cancel)
 			defer me.batch.SetCancel(nil)
+			sp := s.obs.tracer().StartSpan(tctx, "solve")
+			sp.SetNote(f.String())
 			res, err := me.batch.Solve(f, coop)
 			if err == nil {
 				s.noteSolve(res.Stats)
+			} else {
+				sp.SetErr(err.Error())
+			}
+			sp.End()
+			if err == nil {
+				s.noteCompile(res, tctx)
 			}
 			return res, err
-		})
+		}, s.cacheNote(tctx, f.String()))
 	}
 	switch mode {
 	case "", "auto":
@@ -407,7 +498,13 @@ func (s *Service) StatsSnapshot() *Stats {
 			SkeletonCoreHits:   s.skeletonCoreHits.Load(),
 			SkeletonCoreMisses: s.skeletonCoreMisses.Load(),
 			CondensationReuses: s.condensationReuses.Load(),
+			SolveNanos:         s.solveNanos.Load(),
+			ExploreNanos:       s.exploreNanos.Load(),
+			CondenseNanos:      s.condenseNanos.Load(),
+			PropagateNanos:     s.propagateNanos.Load(),
+			OverlayNanos:       s.overlayNanos.Load(),
 		},
+		Latency: s.HistogramSnapshots(),
 	}
 	if s.cl != nil {
 		st.Cluster = s.cl.snapshot()

@@ -25,6 +25,7 @@ import (
 	"tigatest/internal/adapter"
 	"tigatest/internal/campaign"
 	"tigatest/internal/game"
+	"tigatest/internal/obs"
 	"tigatest/internal/tctl"
 	"tigatest/internal/texec"
 	"tigatest/internal/tiots"
@@ -107,6 +108,7 @@ func (ss *session) endRequest() {
 // drains.
 func (ss *session) serve() {
 	defer ss.conn.Close()
+	defer func(t0 time.Time) { ss.s.obs.sessions().Observe(time.Since(t0)) }(time.Now())
 	if err := ss.enc.Encode(&Response{Event: "hello", OK: true}); err != nil {
 		return
 	}
@@ -172,7 +174,17 @@ func solveErrResp(err error) *Response {
 // the cache), and it bounds the connection reads of an inline run (the
 // read deadline), so neither a slow game nor a stalled peer can pin the
 // session slot.
+//
+// With observability enabled, dispatch also opens the request's root span
+// — adopting the client's trace when the request carries valid trace
+// fields, minting a fresh one otherwise — and stamps the local root
+// context back onto req.TraceID/SpanID, so every downstream site (solve
+// spans, cluster forwards) reads the context straight off the request.
+// The stats and trace ops are exempt: a trace request's TraceID is its
+// filter, and neither op does traceable work.
 func (ss *session) dispatch(req *Request) (resp *Response) {
+	start := time.Now()
+	var sp *obs.Span
 	defer func() {
 		if r := recover(); r != nil {
 			ss.s.sessPanics.Add(1)
@@ -182,6 +194,13 @@ func (ss *session) dispatch(req *Request) (resp *Response) {
 		if resp != nil && resp.ErrorKind == kindDeadline {
 			ss.s.timeouts.Add(1)
 		}
+		d := time.Since(start)
+		ss.s.obs.request().Observe(d)
+		if resp != nil && !resp.OK && resp.Error != "" {
+			sp.SetErr(resp.Error)
+		}
+		sp.End()
+		ss.s.obs.accessLog(req, resp, req.TraceID, d)
 	}()
 	d := time.Duration(req.DeadlineMS) * time.Millisecond
 	if d <= 0 {
@@ -195,7 +214,33 @@ func (ss *session) dispatch(req *Request) (resp *Response) {
 		_ = ss.conn.SetReadDeadline(time.Now().Add(d))
 		defer func() { _ = ss.conn.SetReadDeadline(time.Time{}) }()
 	}
+	if req.Op != "stats" && req.Op != "trace" {
+		if req.TraceID != "" || req.SpanID != "" {
+			sp = ss.s.obs.tracer().Adopt(req.TraceID, req.SpanID, "request."+req.Op)
+		} else {
+			sp = ss.s.obs.tracer().StartTrace("request." + req.Op)
+		}
+		if ctx := sp.Context(); ctx.Valid() {
+			req.TraceID = obs.FormatID(ctx.TraceID)
+			req.SpanID = obs.FormatID(ctx.SpanID)
+		}
+	}
 	return ss.handle(req, done)
+}
+
+// reqCtx reconstructs the request's root span context from the wire
+// fields dispatch stamped. Zero — and thus span-free downstream — when
+// observability is disabled and the client sent no trace of its own.
+func reqCtx(req *Request) obs.SpanContext {
+	tid, ok := obs.ParseID(req.TraceID)
+	if !ok {
+		return obs.SpanContext{}
+	}
+	ctx := obs.SpanContext{TraceID: tid}
+	if sid, ok := obs.ParseID(req.SpanID); ok {
+		ctx.SpanID = sid
+	}
+	return ctx
 }
 
 // handle dispatches one request. done, when non-nil, is the request's
@@ -204,6 +249,16 @@ func (ss *session) handle(req *Request, done <-chan struct{}) *Response {
 	switch req.Op {
 	case "stats":
 		return &Response{Event: "result", OK: true, Stats: ss.s.StatsSnapshot()}
+	case "trace":
+		// Serve the retained finished spans; req.TraceID (untouched by
+		// dispatch for this op) filters to one trace, req.Limit caps the
+		// result. Empty spans with OK simply means observability is off or
+		// the ring has rotated past the trace.
+		limit := req.Limit
+		if limit <= 0 {
+			limit = 128
+		}
+		return &Response{Event: "result", OK: true, Spans: ss.s.TraceRecent(req.TraceID, limit)}
 	case "synthesize":
 		rv, resp := ss.resolve(req, done)
 		if resp != nil {
@@ -221,7 +276,7 @@ func (ss *session) handle(req *Request, done <-chan struct{}) *Response {
 	case "peer_strategy":
 		return ss.peerStrategy(req, done)
 	default:
-		return errResp("unknown op %q (use synthesize, strategy, run, campaign or stats)", req.Op)
+		return errResp("unknown op %q (use synthesize, strategy, run, campaign, stats or trace)", req.Op)
 	}
 }
 
@@ -295,7 +350,7 @@ func synthInfo(modelName string, me *modelEntry, sig string, f *tctl.Formula, mo
 // daemon. A non-nil Response reports the failure; otherwise the resolved
 // describes the outcome, winnable or not.
 func (s *Service) localResolve(me *modelEntry, f *tctl.Formula, sig string, req *Request, done <-chan struct{}) (*resolved, *Response) {
-	res, err := s.synthesize(me, f, sig, req.Mode, done)
+	res, err := s.synthesize(me, f, sig, req.Mode, done, reqCtx(req))
 	if err != nil {
 		return nil, solveErrResp(err)
 	}
@@ -306,6 +361,11 @@ func (s *Service) localResolve(me *modelEntry, f *tctl.Formula, sig string, req 
 // locally on a standalone daemon, through the cluster's ownership ring on
 // a fleet member (the owner solves, everyone else forwards and caches).
 func (ss *session) resolve(req *Request, done <-chan struct{}) (*resolved, *Response) {
+	// The consult histogram measures the whole resolution — parse,
+	// signature, cache path (hit, join or solve), and any peer forward —
+	// per request, NOT per strategy consultation during test execution
+	// (MoveAt stays observation-free; see DESIGN.md).
+	defer func(t0 time.Time) { ss.s.obs.consult().Observe(time.Since(t0)) }(time.Now())
 	me, ok := ss.s.modelByName(req.Model)
 	if !ok {
 		return nil, errResp("unknown model %q", req.Model)
@@ -373,10 +433,14 @@ func (ss *session) peerStrategy(req *Request, done <-chan struct{}) *Response {
 	}
 	si := &StrategyInfo{Synth: *rv.info}
 	if rv.info.Winnable {
+		sp := ss.s.obs.tracer().StartSpan(reqCtx(req), "encode")
 		data, sum, err := rv.encoded()
 		if err != nil {
+			sp.SetErr(err.Error())
+			sp.End()
 			return errResp("compile: %v", err)
 		}
+		sp.End()
 		si.Bytes = len(data)
 		si.Checksum = sum
 		si.Encoded = data
@@ -397,10 +461,14 @@ func (ss *session) strategy(req *Request, done <-chan struct{}) *Response {
 	if !rv.info.Winnable {
 		return errResp("purpose %s is not winnable under mode %s", rv.info.Purpose, rv.info.Mode)
 	}
+	sp := ss.s.obs.tracer().StartSpan(reqCtx(req), "encode")
 	data, sum, err := rv.encoded()
 	if err != nil {
+		sp.SetErr(err.Error())
+		sp.End()
 		return errResp("compile: %v", err)
 	}
+	sp.End()
 	ss.s.cache.compiledHits.Add(1)
 	ss.s.cache.compiledBytes.Add(int64(len(data)))
 	return &Response{Event: "result", OK: true, Strategy: &StrategyInfo{
@@ -515,16 +583,17 @@ func (ss *session) campaign(req *Request, done <-chan struct{}) *Response {
 	solver := ss.s.opts.Solver
 	solver.Cancel = done // planner-level polls; per-solve cancel comes from the cache
 	rep, err := campaign.Run(me.sys, me.env, campaign.Options{
-		Coverage: cov,
-		Plant:    me.plant,
-		Mutants:  req.Mutants,
-		Workers:  req.Workers,
-		Repeats:  req.Repeats,
-		Seed:     seed,
-		Solver:   solver,
-		Exec:     texec.Options{Scale: ss.s.opts.Scale, Cancel: done},
-		Batch:    me.batch,
-		SolveVia: ss.s.solveVia(me, done),
+		Coverage:    cov,
+		Plant:       me.plant,
+		Mutants:     req.Mutants,
+		Workers:     req.Workers,
+		Repeats:     req.Repeats,
+		Seed:        seed,
+		Solver:      solver,
+		Exec:        texec.Options{Scale: ss.s.opts.Scale, Cancel: done},
+		Batch:       me.batch,
+		SolveVia:    ss.s.solveVia(me, done, reqCtx(req)),
+		ObserveCell: ss.s.obs.cellObserver(),
 	})
 	if err != nil {
 		if errors.Is(err, ErrDeadline) || errors.Is(err, game.ErrCanceled) {
