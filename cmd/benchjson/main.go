@@ -6,7 +6,9 @@
 // (BenchmarkCampaignPlan, the shared-core planning ablation), and
 // .../compiled=on cells against their compiled=off baseline
 // (BenchmarkMoveAt and campaign execution, the compiled-strategy
-// consultation path). The input
+// consultation path), and .../incremental=on cells against their
+// incremental=off baseline (BenchmarkMutantFamily, the delta re-solve
+// ablation). The input
 // text is the benchstat-compatible record; the JSON is the
 // machine-readable digest CI archives next to it.
 //
@@ -54,6 +56,7 @@ var benchRe = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 var workersRe = regexp.MustCompile(`^(.*)/workers=(\d+)$`)
 var sharedRe = regexp.MustCompile(`^(.*)/shared=(on|off)$`)
 var compiledRe = regexp.MustCompile(`^(.*)/compiled=(on|off)$`)
+var incrementalRe = regexp.MustCompile(`^(.*)/incremental=(on|off)$`)
 
 func main() {
 	in := flag.String("in", "", "bench output file (default stdin)")
@@ -181,6 +184,7 @@ var families = []family{
 	{workersRe, "1", func(sp *speedup, suffix string) { sp.Workers, _ = strconv.Atoi(suffix) }},
 	{sharedRe, "off", func(sp *speedup, suffix string) { sp.Variant = "shared=" + suffix }},
 	{compiledRe, "off", func(sp *speedup, suffix string) { sp.Variant = "compiled=" + suffix }},
+	{incrementalRe, "off", func(sp *speedup, suffix string) { sp.Variant = "incremental=" + suffix }},
 }
 
 // pair computes one speedup per non-baseline cell of the family present in

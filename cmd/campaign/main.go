@@ -64,6 +64,7 @@ func main() {
 		propWorkers = flag.Int("prop-workers", 1, "propagation workers; > 1 is faster but makes reason texts schedule-dependent")
 		sharedCore  = flag.Bool("shared-core", true, "solve edge goals as ghost overlays on one shared explored core (false: re-explore a clone per edge; reports are identical either way)")
 		compile     = flag.Bool("compile", true, "execute through compiled strategy decision tables (false: interpreted consultation; reports are identical either way)")
+		incremental = flag.Bool("incremental", true, "re-solve suite purposes on mutants incrementally over the shared core's dirty cone (false: re-explore each mutant cold; reports are identical either way)")
 		timeout     = flag.Duration("timeout", 0, "abort the campaign cooperatively after this long (0 = none); SIGINT aborts the same way")
 	)
 	flag.Parse()
@@ -96,16 +97,17 @@ func main() {
 	}
 
 	rep, err := campaign.Run(sys, env, campaign.Options{
-		Coverage:          cov,
-		Plant:             plant,
-		Mutants:           *mutants,
-		Workers:           *workers,
-		Repeats:           *repeats,
-		Seed:              *seed,
-		Solver:            game.Options{Workers: *solvWorkers, PropagationWorkers: *propWorkers, Cancel: cancel},
-		RemoteAddr:        *connect,
-		DisableSharedCore: !*sharedCore,
-		DisableCompile:    !*compile,
+		Coverage:           cov,
+		Plant:              plant,
+		Mutants:            *mutants,
+		Workers:            *workers,
+		Repeats:            *repeats,
+		Seed:               *seed,
+		Solver:             game.Options{Workers: *solvWorkers, PropagationWorkers: *propWorkers, Cancel: cancel},
+		RemoteAddr:         *connect,
+		DisableSharedCore:  !*sharedCore,
+		DisableCompile:     !*compile,
+		DisableIncremental: !*incremental,
 	})
 	if err != nil {
 		if errors.Is(err, game.ErrCanceled) {

@@ -102,6 +102,14 @@ type Options struct {
 	// the service layer to route campaign planning through its
 	// content-addressed strategy cache.
 	SolveVia func(key SolveKey, solve func() (*game.Result, error)) (*game.Result, error)
+	// DisableIncremental solves every mutant-analysis purpose on a freshly
+	// explored merged-maxima skeleton of the mutant instead of replaying
+	// the shared core's clean states and re-exploring only the dirty cone
+	// (game.Batch.SolveDelta). Both paths compute the same fixpoint on the
+	// same graph, so the report is byte-identical either way — only
+	// analysis time changes. Exists for the E10 ablation and as an escape
+	// hatch; it is forwarded to Solver.DisableIncremental.
+	DisableIncremental bool
 	// DisableCompile executes every run through the interpreted
 	// Strategy.MoveAt instead of the compiled decision tables (ablation
 	// E8). Compilation is decision-equivalent, so the report is
@@ -143,6 +151,9 @@ func (o *Options) withDefaults(sys *model.System) Options {
 	}
 	if opts.Repeats <= 0 {
 		opts.Repeats = 1
+	}
+	if opts.DisableIncremental {
+		opts.Solver.DisableIncremental = true
 	}
 	if opts.Solver.PropagationWorkers == 0 {
 		// The default must keep reports byte-reproducible: propagation
@@ -187,6 +198,16 @@ func Run(sys *model.System, env *tctl.ParseEnv, o Options) (*Report, error) {
 	}
 
 	t0 := time.Now()
+	// The batch is hoisted out of Plan so the mutant-analysis phase reuses
+	// the same explored core skeleton (and, through it, the delta-skeleton
+	// and base-fixpoint caches) the planner primed.
+	if opts.Batch == nil {
+		batch, err := game.NewBatch(sys, opts.Solver)
+		if err != nil {
+			return nil, err
+		}
+		opts.Batch = batch
+	}
 	suite, err := Plan(sys, env, &opts)
 	if err != nil {
 		return nil, err
@@ -206,12 +227,21 @@ func Run(sys *model.System, env *tctl.ParseEnv, o Options) (*Report, error) {
 		return nil, fmt.Errorf("campaign: execution: %w", err)
 	}
 
-	rep := assembleReport(sys, suite, rows, matrix, &opts)
+	t2 := time.Now()
+	analyses, anStats, err := analyzeMutants(sys, env, suite, rows, &opts)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: analysis: %w", err)
+	}
+	analyzeMS := time.Since(t2).Milliseconds()
+
+	rep := assembleReport(sys, suite, rows, matrix, analyses, &opts)
 	rep.Volatile = &Volatile{
-		PlanMS:   planMS,
-		ExecMS:   execMS,
-		TotalMS:  time.Since(t0).Milliseconds(),
-		Planning: &suite.Stats,
+		PlanMS:    planMS,
+		ExecMS:    execMS,
+		AnalyzeMS: analyzeMS,
+		TotalMS:   time.Since(t0).Milliseconds(),
+		Planning:  &suite.Stats,
+		Analysis:  anStats,
 	}
 	return rep, nil
 }

@@ -20,6 +20,11 @@ type IUTRow struct {
 	Operator string
 	// Factory builds fresh instances for runs.
 	Factory IUTFactory
+	// Sys is the full mutated system behind a mutant row (nil for the
+	// conformant, lazy and remote rows). The incremental analysis phase
+	// diffs it against the specification to re-solve the suite's purposes
+	// on the mutant's dirty cone only.
+	Sys *model.System
 }
 
 // LazyRowName is the matrix row of the lazy-but-conformant determinization
@@ -51,6 +56,7 @@ func BuildIUTs(sys *model.System, opts *Options, lazyRow bool) ([]*IUTRow, error
 			Name:     m.Operator + ": " + m.Description,
 			Operator: m.Operator,
 			Factory:  LocalIUT(model.ExtractPlant(m.Sys, opts.Plant, "Stub"), opts.Exec.Scale, m.Policy),
+			Sys:      m.Sys,
 		})
 	}
 	if opts.RemoteAddr != "" {

@@ -151,12 +151,16 @@ func (ps *PlanStats) fold(st game.Stats) {
 // signature, the watched edge of a ghost-overlay solve (-1 for location
 // purposes) and the game mode. Together with the model's structural hash —
 // which the routing layer adds, since the planner sees only one model —
-// the key is a content address: equal keys denote equal solves.
+// the key is a content address: equal keys denote equal solves. Mutant
+// analysis solves (the incremental re-solve phase) additionally carry the
+// mutant's edit-set hash against the base model; EditHash is 0 for plan
+// solves of the specification itself.
 type SolveKey struct {
 	Purpose     string
 	Signature   string
 	EdgeID      int
 	Cooperative bool
+	EditHash    uint64
 }
 
 // Covered counts goals with StatusCovered or StatusRecovered (a conformant

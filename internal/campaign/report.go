@@ -78,6 +78,11 @@ type RowReport struct {
 	IUT      string       `json:"iut"`
 	Operator string       `json:"operator,omitempty"`
 	Cells    []CellReport `json:"cells"`
+	// Analysis is the incremental re-solve verdict of a mutant row (nil
+	// for the conformant, lazy and remote rows). Deterministic — identical
+	// for every worker count and for the DisableIncremental ablation — so
+	// it is part of the canonical report.
+	Analysis *RowAnalysis `json:"analysis,omitempty"`
 }
 
 // CellReport is one (implementation × strategy) verdict tally.
@@ -112,11 +117,15 @@ type MutationReport struct {
 // itself untouched). It is stripped from canonical JSON so reports stay
 // byte-reproducible across runs and planner configurations.
 type Volatile struct {
-	PlanMS  int64 `json:"plan_ms"`
-	ExecMS  int64 `json:"exec_ms"`
-	TotalMS int64 `json:"total_ms"`
+	PlanMS    int64 `json:"plan_ms"`
+	ExecMS    int64 `json:"exec_ms"`
+	AnalyzeMS int64 `json:"analyze_ms"`
+	TotalMS   int64 `json:"total_ms"`
 	// Planning aggregates the per-goal solver counters (see PlanStats).
 	Planning *PlanStats `json:"planning,omitempty"`
+	// Analysis aggregates the mutant-analysis solver counters (nil when the
+	// matrix has no mutant rows or the suite is empty).
+	Analysis *PlanStats `json:"analysis,omitempty"`
 }
 
 func pct(part, whole int) float64 {
@@ -126,8 +135,10 @@ func pct(part, whole int) float64 {
 	return 100 * float64(part) / float64(whole)
 }
 
-// assembleReport folds plan and matrix into the Report.
-func assembleReport(sys *model.System, suite *Suite, rows []*IUTRow, matrix [][]CellTally, opts *Options) *Report {
+// assembleReport folds plan, matrix and mutant analysis into the Report.
+// analyses may be nil (no mutant rows) or hold nil entries (non-mutant
+// rows).
+func assembleReport(sys *model.System, suite *Suite, rows []*IUTRow, matrix [][]CellTally, analyses []*RowAnalysis, opts *Options) *Report {
 	rep := &Report{
 		Model:    sys.Name,
 		Coverage: opts.Coverage.String(),
@@ -196,6 +207,9 @@ func assembleReport(sys *model.System, suite *Suite, rows []*IUTRow, matrix [][]
 	ops := map[string]*opTally{}
 	for ri, row := range rows {
 		rr := RowReport{IUT: row.Name, Operator: row.Operator}
+		if ri < len(analyses) {
+			rr.Analysis = analyses[ri]
+		}
 		killed := false
 		for ei := range suite.Entries {
 			t := matrix[ri][ei]
@@ -284,8 +298,21 @@ func (r *Report) Render(w io.Writer) {
 			fmt.Fprintf(w, "    %-18s %3d mutants, %3d killed (%.0f%%)\n", op.Operator, op.Mutants, op.Killed, op.Score)
 		}
 	}
+	analyzed, lost := 0, 0
+	for _, rr := range r.Matrix {
+		if rr.Analysis != nil && rr.Analysis.Skipped == "" {
+			analyzed++
+			if len(rr.Analysis.Lost) > 0 {
+				lost++
+			}
+		}
+	}
+	if analyzed > 0 {
+		fmt.Fprintf(w, "  analysis: %d mutants re-solved, %d lose at least one suite purpose\n", analyzed, lost)
+	}
 	if r.Volatile != nil {
-		fmt.Fprintf(w, "  wall-clock: plan %dms, exec %dms, total %dms\n", r.Volatile.PlanMS, r.Volatile.ExecMS, r.Volatile.TotalMS)
+		fmt.Fprintf(w, "  wall-clock: plan %dms, exec %dms, analyze %dms, total %dms\n",
+			r.Volatile.PlanMS, r.Volatile.ExecMS, r.Volatile.AnalyzeMS, r.Volatile.TotalMS)
 		if ps := r.Volatile.Planning; ps != nil {
 			fmt.Fprintf(w, "  planning: %d solves, core skeleton %d hits / %d misses, skeleton %d hits / %d misses\n",
 				ps.Solves, ps.SkeletonCoreHits, ps.SkeletonCoreMisses, ps.SkeletonHits, ps.SkeletonMisses)

@@ -43,6 +43,14 @@ type skeleton struct {
 	// whole zone on layer 1, empty on layer 0) and solveOnSkeleton skips
 	// the per-node formula evaluation.
 	layers []int8
+	// stIndex is a lazily built content index (state hash -> node ids) used
+	// by delta replay (delta.go) to map a mutant's states back onto this
+	// skeleton. Built once, shared by every mutant replayed over the core.
+	stIndex map[uint64][]int32
+	// stHash memoizes each node's full-state hash alongside stIndex:
+	// hashing walks the whole DBM, so replays must never re-hash a core
+	// state they can name by id.
+	stHash []uint64
 }
 
 // Batch solves a sequence of reachability purposes against one system,
@@ -68,6 +76,16 @@ type Batch struct {
 	// strategy cache's job, not this one's.
 	overlays map[overlayKey]*skeleton
 	ovOrder  []overlayKey
+
+	// Incremental re-solve caches (delta.go). deltas holds mutant skeletons —
+	// replayed over the core, or coldly explored under the E10 ablation —
+	// keyed by merged extrapolation signature and edit-set hash; fixes holds
+	// fully converged base fixpoints that seed the dirty-cone re-solve.
+	// Both are FIFO-bounded like the overlay cache.
+	deltas   map[deltaKey]*deltaSkeleton
+	dOrder   []deltaKey
+	fixes    map[fixKey]*baseFix
+	fixOrder []fixKey
 }
 
 // overlayCacheCap bounds the retained overlay skeletons per batch: enough
@@ -154,7 +172,17 @@ func (b *Batch) Solve(formula *tctl.Formula, coop bool) (*Result, error) {
 // against the core system (ghost-overlay purposes reference the clone's
 // extra variable) — only its clock atoms matter here.
 func (b *Batch) coreSkeleton(formula *tctl.Formula) (*skeleton, string, bool, error) {
-	sig := maxSignature(b.sys.MaxConstants(formula.ClockConstraints()))
+	return b.coreSkeletonMax(formula, b.sys.MaxConstants(formula.ClockConstraints()))
+}
+
+// coreSkeletonMax is coreSkeleton under explicit extrapolation maxima: the
+// incremental mutant path (delta.go) explores the base system under the
+// pointwise max of the base and mutant constants, so the core graph it
+// replays over is also a valid exploration of the mutant's clean region.
+// For the base system's own constants the override is the identity and the
+// skeleton is shared with ordinary purpose solves of the same signature.
+func (b *Batch) coreSkeletonMax(formula *tctl.Formula, max []int) (*skeleton, string, bool, error) {
+	sig := maxSignature(max)
 	if sk, ok := b.graphs[sig]; ok {
 		return sk, sig, true, nil
 	}
@@ -163,6 +191,9 @@ func (b *Batch) coreSkeleton(formula *tctl.Formula) (*skeleton, string, bool, er
 	es := newSolverShell(b.sys, formula, opts)
 	es.exploreOnly = true
 	es.lightStats = true
+	if !opts.DisableExtrapolation {
+		es.ex.Max = append([]int(nil), max...)
+	}
 	t0 := time.Now()
 	sk, err := b.explore(es)
 	if err != nil {

@@ -292,25 +292,25 @@ func Decode(sys *model.System, data []byte) (*CompiledStrategy, error) {
 	}
 	cs.coop = r.bool()
 	cs.purpose = r.str()
-	cs.nodes = make([]compiledNode, r.u32())
+	cs.nodes = make([]compiledNode, r.count(20))
 	if r.err != nil {
 		return nil, r.err
 	}
 	for i := range cs.nodes {
 		n := &cs.nodes[i]
 		n.goal = r.fed(cs.dim)
-		n.deltas = make([]compiledDelta, r.u32())
+		n.deltas = make([]compiledDelta, r.count(8))
 		for d := range n.deltas {
 			n.deltas[d].stamp = int(r.u32())
 			n.deltas[d].fed = r.fed(cs.dim)
 		}
-		n.succs = make([]compiledSucc, r.u32())
+		n.succs = make([]compiledSucc, r.count(17))
 		for j := range n.succs {
 			sc := &n.succs[j]
 			chanIdx := int(int32(r.u32()))
 			kind := model.Kind(r.u8())
 			sc.target = int(r.u32())
-			es := make([]*model.Edge, r.u32())
+			es := make([]*model.Edge, r.count(4))
 			for k := range es {
 				id := int(r.u32())
 				e, ok := edges[id]
@@ -334,7 +334,7 @@ func Decode(sys *model.System, data []byte) (*CompiledStrategy, error) {
 			sc.trans = symbolic.Transition{Kind: kind, Chan: chanIdx, Edges: es, Label: label}
 			sc.ctrl = kind == model.Controllable
 			sc.usable = sc.ctrl || cs.coop
-			sc.stamps = make([]int, r.u32())
+			sc.stamps = make([]int, r.count(4))
 			for k := range sc.stamps {
 				sc.stamps[k] = int(r.u32())
 			}
@@ -345,7 +345,7 @@ func Decode(sys *model.System, data []byte) (*CompiledStrategy, error) {
 				}
 			}
 		}
-		n.forcedThresholds = make([]int, r.u32())
+		n.forcedThresholds = make([]int, r.count(4))
 		for k := range n.forcedThresholds {
 			n.forcedThresholds[k] = int(r.u32())
 		}
@@ -433,6 +433,22 @@ func (r *rbuf) u32() uint32 {
 	v := binary.LittleEndian.Uint32(r.b)
 	r.b = r.b[4:]
 	return v
+}
+
+// count reads a u32 element count and validates it against the bytes
+// remaining, given the minimum encoded size of one element: a corrupted
+// (or adversarial, checksum-resealed) stream must not make Decode allocate
+// unboundedly ahead of data that cannot possibly be present.
+func (r *rbuf) count(minElemBytes int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n > len(r.b)/minElemBytes {
+		r.fail()
+		return 0
+	}
+	return n
 }
 
 func (r *rbuf) bool() bool { return r.u8() != 0 }

@@ -183,6 +183,7 @@ func (s *solver) exploreBatch(frontier []int) error {
 			}
 			n.succs = append(n.succs, succRef{trans: ws.trans, target: ws.n.id})
 			ws.n.addPred(id)
+			s.logCondEdit(id, ws.n.id)
 		}
 		s.scheduleReeval(id)
 	}

@@ -1,0 +1,114 @@
+// Fuzzing of the compiled-strategy wire decoder (docs/WIRE.md). The
+// trailing FNV-1a self-checksum would deflect virtually every blind
+// mutation at the gate, so the fuzz target reseals the checksum over the
+// mutated payload before decoding — the fuzzer explores the decoder's
+// structure, not the hash. Properties: Decode never panics and never
+// allocates unboundedly (the rbuf count guards), and any accepted input
+// re-encodes to a fixpoint (encode ∘ decode is idempotent).
+
+package game
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"tigatest/internal/models"
+	"tigatest/internal/tctl"
+)
+
+// encodedSeeds compiles strict and cooperative strategies for the built-in
+// models and returns their canonical encodings (checksum included).
+func encodedSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	var seeds [][]byte
+	for _, mn := range []string{"smartlight", "traingate"} {
+		sys, env, _, goalSrc, err := models.ByName(mn, 2)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		f := tctl.MustParse(env, goalSrc)
+		for _, coop := range []bool{false, true} {
+			res, err := Solve(sys, f, Options{Algorithm: Backward, PropagationWorkers: 1, TreatAllControllable: coop})
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if !res.Winnable {
+				continue
+			}
+			cs, err := res.CompiledStrategy()
+			if err != nil {
+				tb.Fatal(err)
+			}
+			seeds = append(seeds, cs.Encode())
+		}
+	}
+	if len(seeds) == 0 {
+		tb.Fatal("no winnable strategies to seed the corpus")
+	}
+	return seeds
+}
+
+// reseal appends a fresh FNV-1a checksum to the payload, producing an
+// input that passes Decode's integrity gate.
+func reseal(payload []byte) []byte {
+	data := append([]byte(nil), payload...)
+	return binary.LittleEndian.AppendUint64(data, fnvSum(data))
+}
+
+// FuzzCompiledDecode feeds checksum-resealed payloads to game.Decode. Runs
+// from the checked-in corpus (testdata/fuzz/FuzzCompiledDecode) on every
+// `go test`; CI additionally runs a timed -fuzz smoke.
+func FuzzCompiledDecode(f *testing.F) {
+	sys := models.SmartLight()
+	for _, enc := range encodedSeeds(f) {
+		// Seeds are payloads WITHOUT the checksum; the target reseals.
+		f.Add(enc[:len(enc)-8])
+	}
+	f.Add([]byte("TGCS"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		// The raw payload exercises the checksum-mismatch and truncation
+		// gates; must not panic.
+		_, _ = Decode(sys, payload)
+
+		cs, err := Decode(sys, reseal(payload))
+		if err != nil {
+			return
+		}
+		// Accepted input: re-encoding must be a decodable fixpoint.
+		e1 := cs.Encode()
+		cs2, err := Decode(sys, e1)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded strategy failed: %v", err)
+		}
+		if !bytes.Equal(e1, cs2.Encode()) {
+			t.Fatal("encode(decode(encode)) is not a fixpoint")
+		}
+	})
+}
+
+// TestRegenFuzzCorpus rewrites the checked-in seed corpus under
+// testdata/fuzz/FuzzCompiledDecode from freshly compiled strategies. Run
+// manually after a wire-format change:
+//
+//	REGEN_FUZZ_CORPUS=1 go test ./internal/game -run TestRegenFuzzCorpus
+func TestRegenFuzzCorpus(t *testing.T) {
+	if os.Getenv("REGEN_FUZZ_CORPUS") == "" {
+		t.Skip("set REGEN_FUZZ_CORPUS=1 to rewrite testdata/fuzz/FuzzCompiledDecode")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzCompiledDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, enc := range encodedSeeds(t) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(enc[:len(enc)-8])) + ")\n"
+		name := filepath.Join(dir, "seed-strategy-"+strconv.Itoa(i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

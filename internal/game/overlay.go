@@ -32,10 +32,16 @@ import (
 )
 
 // overlayKey identifies one cached overlay skeleton: the core signature it
-// was split from and the watched edge.
+// was split from, the watched edge, and — for overlays split from a mutant
+// delta skeleton (Batch.SolveDeltaEdgeGhost) — the mutant's edit-set hash.
+// The hash matters even though the signature alone keys the underlying
+// graphs map: a mutation that leaves every clock constant unchanged (edge
+// retargeting, output swapping) shares the base signature while its overlay
+// graph differs. edits is 0 for overlays over the un-mutated core.
 type overlayKey struct {
-	sig  string
-	edge int
+	sig   string
+	edge  int
+	edits uint64
 }
 
 // SolveEdgeGhost solves an edge-coverage purpose against inst — a
@@ -77,7 +83,7 @@ func (b *Batch) SolveEdgeGhost(inst *model.System, formula *tctl.Formula, edgeID
 		s.stats.ExploreDuration += core.buildDur
 	}
 
-	key := overlayKey{sig: sig, edge: edgeID}
+	key := overlayKey{sig: sig, edge: edgeID, edits: 0}
 	ov := b.overlays[key]
 	if ov != nil {
 		s.stats.SkeletonHits++

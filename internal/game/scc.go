@@ -27,12 +27,27 @@ const tarjanUndef = int32(-1)
 // strictly smaller id. Component ids therefore directly give the bottom-up
 // solving order for backward propagation.
 func tarjanSCC(n int, deg func(u int) int, succ func(u, i int) int) (compOf []int32, comps [][]int32) {
+	return tarjanSCCRestricted(n, nil, nil, deg, succ)
+}
+
+// tarjanSCCRestricted runs Tarjan over the subgraph induced by the nodes
+// with in[v] true, visiting roots in the given order; edges leaving the
+// induced subgraph are ignored. A nil `in` (with nil roots) means the whole
+// graph, 0..n-1. compOf entries of excluded nodes are left as tarjanUndef.
+//
+// The restriction is what makes the incremental update sound and cheap: the
+// caller guarantees that every mutual-reachability path among the included
+// nodes stays inside the included set (see updateCondensation), so the
+// induced subgraph has exactly the same components as the full graph does
+// on those nodes.
+func tarjanSCCRestricted(n int, roots []int32, in []bool, deg func(u int) int, succ func(u, i int) int) (compOf []int32, comps [][]int32) {
 	compOf = make([]int32, n)
 	index := make([]int32, n)
 	low := make([]int32, n)
 	onStack := make([]bool, n)
 	for i := range index {
 		index[i] = tarjanUndef
+		compOf[i] = tarjanUndef
 	}
 	stack := make([]int32, 0, n)
 
@@ -43,7 +58,15 @@ func tarjanSCC(n int, deg func(u int) int, succ func(u, i int) int) (compOf []in
 	var frames []frame
 	var next int32
 
-	for root := 0; root < n; root++ {
+	nroots := n
+	if roots != nil {
+		nroots = len(roots)
+	}
+	for ri := 0; ri < nroots; ri++ {
+		root := ri
+		if roots != nil {
+			root = int(roots[ri])
+		}
 		if index[root] != tarjanUndef {
 			continue
 		}
@@ -59,6 +82,9 @@ func tarjanSCC(n int, deg func(u int) int, succ func(u, i int) int) (compOf []in
 			if int(fr.ei) < deg(u) {
 				v := succ(u, int(fr.ei))
 				fr.ei++
+				if in != nil && !in[v] {
+					continue
+				}
 				if index[v] == tarjanUndef {
 					index[v], low[v] = next, next
 					next++
@@ -99,8 +125,13 @@ func tarjanSCC(n int, deg func(u int) int, succ func(u, i int) int) (compOf []in
 
 // condensation is the SCC DAG of the explored zone graph plus the
 // cross-component adjacency the parallel propagator schedules with.
-// Component ids are in reverse topological order (tarjanSCC), so id 0 is
-// a sink of the DAG.
+//
+// Component ids carry NO ordering guarantee: a freshly built condensation
+// numbers components in reverse topological order (tarjanSCC), but an
+// incremental update (updateCondensation) renumbers densely with surviving
+// components first, which is not topological. The propagator schedules by
+// dependency counting over succs/preds, never by id order, so any dense
+// numbering is valid.
 type condensation struct {
 	compOf []int32
 	comps  [][]int32
@@ -111,6 +142,218 @@ type condensation struct {
 	preds [][]int32
 }
 
+// condEdit is the graph delta between a condensation and the current
+// graph: nodes oldN..n-1 (per the updateCondensation arguments) are new,
+// and the listed edges were inserted or removed among (or incident to) the
+// old nodes. Edges wholly among new nodes ride along with the new nodes
+// and need no entry. dirty lists old nodes whose successor set shrank or
+// was rearranged in some unclassified way; their components are recomputed
+// wholesale. Every inserted edge MUST be listed in inserted even when its
+// source is also dirty — an insertion can merge components far from its
+// endpoints, which only the head/tail cone analysis discovers, while
+// removals only ever split the component containing the removed edge.
+type condEdit struct {
+	inserted [][2]int32
+	removed  [][2]int32
+	dirty    []int32
+}
+
+// updateCondensation revises prev — the condensation of this graph as of
+// oldN nodes — to cover the current graph of n nodes, recomputing only the
+// cone of influence of the edit.
+//
+// Soundness: a cycle that uses no edited edge and no new node existed
+// before and lies inside one old component, so only components on a
+// potential new cycle can change membership. Every such component sits on
+// an old DAG path from the target component of some inserted edge (a
+// "head" — where the cycle re-enters the old region) to the source
+// component of some inserted edge (a "tail" — where it leaves), so the
+// affected set is (descendants of heads) ∩ (ancestors of tails) over the
+// old DAG, plus the components of dirty nodes and removed-edge endpoints
+// (removal only ever splits the component containing the edge). The
+// members of affected components plus all new nodes form the restricted
+// region; mutual-reachability paths among region nodes cannot leave the
+// region (a leaving path would put an unaffected component on a new
+// cycle), so a Tarjan pass restricted to the region — ignoring edges that
+// leave it — recomputes exactly the changed components.
+func updateCondensation(prev *condensation, oldN, n int, deg func(u int) int, succ func(u, i int) int, edit *condEdit) *condensation {
+	oldComps := len(prev.comps)
+
+	// Affected components: (desc of inserted heads) ∩ (anc of inserted
+	// tails), plus dirty-node and removed-edge-endpoint components.
+	desc := make([]bool, oldComps)
+	anc := make([]bool, oldComps)
+	var queue []int32
+	mark := func(marks []bool, adj [][]int32, seeds []int32) {
+		queue = queue[:0]
+		for _, c := range seeds {
+			if !marks[c] {
+				marks[c] = true
+				queue = append(queue, c)
+			}
+		}
+		for len(queue) > 0 {
+			c := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, d := range adj[c] {
+				if !marks[d] {
+					marks[d] = true
+					queue = append(queue, d)
+				}
+			}
+		}
+	}
+	var heads, tails []int32
+	for _, e := range edit.inserted {
+		if int(e[1]) < oldN {
+			heads = append(heads, prev.compOf[e[1]])
+		}
+		if int(e[0]) < oldN {
+			tails = append(tails, prev.compOf[e[0]])
+		}
+	}
+	mark(desc, prev.succs, heads)
+	mark(anc, prev.preds, tails)
+	affected := make([]bool, oldComps)
+	for c := range affected {
+		affected[c] = desc[c] && anc[c]
+	}
+	for _, v := range edit.dirty {
+		if int(v) < oldN {
+			affected[prev.compOf[v]] = true
+		}
+	}
+	for _, e := range edit.removed {
+		for _, v := range e {
+			if int(v) < oldN {
+				affected[prev.compOf[v]] = true
+			}
+		}
+	}
+
+	// Restricted region: members of affected components plus new nodes.
+	inRegion := make([]bool, n)
+	var region []int32
+	for c := 0; c < oldComps; c++ {
+		if !affected[c] {
+			continue
+		}
+		for _, v := range prev.comps[c] {
+			inRegion[v] = true
+			region = append(region, v)
+		}
+	}
+	for v := oldN; v < n; v++ {
+		inRegion[v] = true
+		region = append(region, int32(v))
+	}
+
+	// Dense renumbering: surviving components first (keeping their member
+	// slices — they are never mutated after construction, so sharing is
+	// safe), recomputed components appended.
+	c := &condensation{compOf: make([]int32, n)}
+	newOf := make([]int32, oldComps) // old id -> new id, -1 for affected
+	for oc := 0; oc < oldComps; oc++ {
+		if affected[oc] {
+			newOf[oc] = -1
+			continue
+		}
+		id := int32(len(c.comps))
+		newOf[oc] = id
+		c.comps = append(c.comps, prev.comps[oc])
+		for _, v := range prev.comps[oc] {
+			c.compOf[v] = id
+		}
+	}
+	survivors := len(c.comps)
+	var local [][]int32
+	if len(region) > 0 { // a nil region would mean "all nodes" to Tarjan
+		_, local = tarjanSCCRestricted(n, region, inRegion, deg, succ)
+	}
+	for _, lc := range local {
+		id := int32(len(c.comps))
+		c.comps = append(c.comps, lc)
+		for _, v := range lc {
+			c.compOf[v] = id
+		}
+	}
+
+	// Cross-edge recompute set: recomputed components scan their members'
+	// node successors from scratch; so do survivors whose old cross edges
+	// pointed into the affected set (those targets were renumbered
+	// arbitrarily, possibly split) and the source components of edited
+	// edges (their successor set itself changed). Every other survivor
+	// keeps its old cross edges remapped through the renumbering.
+	recompute := make([]bool, len(c.comps))
+	for id := survivors; id < len(c.comps); id++ {
+		recompute[id] = true
+	}
+	for oc := 0; oc < oldComps; oc++ {
+		if newOf[oc] < 0 {
+			continue
+		}
+		for _, d := range prev.succs[oc] {
+			if affected[d] {
+				recompute[newOf[oc]] = true
+				break
+			}
+		}
+	}
+	for _, e := range edit.inserted {
+		recompute[c.compOf[e[0]]] = true
+	}
+	for _, e := range edit.removed {
+		if int(e[0]) < oldN {
+			recompute[c.compOf[e[0]]] = true
+		}
+	}
+	for _, v := range edit.dirty {
+		if int(v) < n {
+			recompute[c.compOf[v]] = true
+		}
+	}
+
+	c.succs = make([][]int32, len(c.comps))
+	c.preds = make([][]int32, len(c.comps))
+	for oc := 0; oc < oldComps; oc++ {
+		nc := newOf[oc]
+		if nc < 0 || recompute[nc] || len(prev.succs[oc]) == 0 {
+			continue
+		}
+		out := make([]int32, len(prev.succs[oc]))
+		for i, d := range prev.succs[oc] {
+			out[i] = newOf[d] // d is a survivor, else nc would be in recompute
+		}
+		c.succs[nc] = out
+	}
+	seen := make([]int32, len(c.comps))
+	for i := range seen {
+		seen[i] = -1
+	}
+	for cid := range c.comps {
+		if !recompute[cid] {
+			continue
+		}
+		for _, u := range c.comps[cid] {
+			du := deg(int(u))
+			for i := 0; i < du; i++ {
+				d := c.compOf[succ(int(u), i)]
+				if int(d) == cid || seen[d] == int32(cid) {
+					continue
+				}
+				seen[d] = int32(cid)
+				c.succs[cid] = append(c.succs[cid], d)
+			}
+		}
+	}
+	for cid := range c.succs {
+		for _, d := range c.succs[cid] {
+			c.preds[d] = append(c.preds[d], int32(cid))
+		}
+	}
+	return c
+}
+
 // condense computes the SCC condensation of the currently explored graph.
 // Frontier nodes that are interned but unexplored have no successors and
 // become singleton sink components, which is harmless: they hold no winning
@@ -119,9 +362,14 @@ type condensation struct {
 // Nodes and edges are only ever added, so while the node and transition
 // counts are unchanged since the last call the graph is byte-for-byte the
 // same and the previous condensation is returned as-is (counted in
-// Stats.CondensationReuses). This skips the O(V+E) Tarjan pass between
-// on-the-fly propagation rounds whose frontier added nothing, and — via the
-// skeleton cache in batch.go — across the per-purpose fixpoints of a Batch.
+// Stats.CondensationReuses). When the graph HAS grown, the previous
+// condensation is updated incrementally from the edge log the solver keeps
+// (condEdits: edges appended to nodes that predate the last condensation —
+// the frontier explored since), recomputing only the cone of influence of
+// the new edges instead of re-running Tarjan over the whole graph (counted
+// in Stats.CondensationIncrementals; disabled by Options.DisableIncremental,
+// the E10 ablation). Both paths feed the skeleton cache in batch.go, which
+// shares the condensation across the per-purpose fixpoints of a Batch.
 func (s *solver) condense() *condensation {
 	n := len(s.nodes)
 	if s.lastCond != nil && s.lastCondNodes == n && s.lastCondTrans == s.stats.Transitions {
@@ -129,34 +377,54 @@ func (s *solver) condense() *condensation {
 		return s.lastCond
 	}
 	defer func(t0 time.Time) { s.stats.CondenseDuration += time.Since(t0) }(time.Now())
-	compOf, comps := tarjanSCC(n,
-		func(u int) int { return len(s.nodes[u].succs) },
-		func(u, i int) int { return s.nodes[u].succs[i].target },
-	)
-	c := &condensation{
-		compOf: compOf,
-		comps:  comps,
-		succs:  make([][]int32, len(comps)),
-		preds:  make([][]int32, len(comps)),
-	}
-	// Dedup cross edges per source component with a last-seen marker.
-	seen := make([]int32, len(comps))
-	for i := range seen {
-		seen[i] = -1
-	}
-	for cid := range comps {
-		for _, u := range comps[cid] {
-			for i := range s.nodes[u].succs {
-				d := compOf[s.nodes[u].succs[i].target]
-				if int(d) == cid || seen[d] == int32(cid) {
-					continue
+	deg := func(u int) int { return len(s.nodes[u].succs) }
+	succ := func(u, i int) int { return s.nodes[u].succs[i].target }
+	var c *condensation
+	if s.lastCond != nil && !s.opts.DisableIncremental {
+		c = updateCondensation(s.lastCond, s.lastCondNodes, n, deg, succ, &condEdit{inserted: s.condEdits})
+		s.stats.CondensationIncrementals++
+	} else {
+		compOf, comps := tarjanSCC(n, deg, succ)
+		c = &condensation{
+			compOf: compOf,
+			comps:  comps,
+			succs:  make([][]int32, len(comps)),
+			preds:  make([][]int32, len(comps)),
+		}
+		// Dedup cross edges per source component with a last-seen marker.
+		seen := make([]int32, len(comps))
+		for i := range seen {
+			seen[i] = -1
+		}
+		for cid := range comps {
+			for _, u := range comps[cid] {
+				for i := range s.nodes[u].succs {
+					d := compOf[s.nodes[u].succs[i].target]
+					if int(d) == cid || seen[d] == int32(cid) {
+						continue
+					}
+					seen[d] = int32(cid)
+					c.succs[cid] = append(c.succs[cid], d)
+					c.preds[d] = append(c.preds[d], int32(cid))
 				}
-				seen[d] = int32(cid)
-				c.succs[cid] = append(c.succs[cid], d)
-				c.preds[d] = append(c.preds[d], int32(cid))
 			}
 		}
 	}
+	s.condEdits = s.condEdits[:0]
 	s.lastCond, s.lastCondNodes, s.lastCondTrans = c, n, s.stats.Transitions
 	return c
+}
+
+// logCondEdit records an appended edge for the next incremental
+// condensation update. Edges wholly among nodes added since the last
+// condensation ride along as new nodes and need no entry; before the first
+// condensation there is nothing to update and nothing is logged.
+func (s *solver) logCondEdit(src, dst int) {
+	if s.lastCond == nil || s.opts.DisableIncremental {
+		return
+	}
+	if src >= s.lastCondNodes && dst >= s.lastCondNodes {
+		return
+	}
+	s.condEdits = append(s.condEdits, [2]int32{int32(src), int32(dst)})
 }

@@ -104,6 +104,13 @@ type Options struct {
 	// ErrBudget so callers can tell an external abort from resource
 	// exhaustion. The channel must only ever be closed, never sent on.
 	Cancel <-chan struct{}
+	// DisableIncremental turns off every incremental re-solve path (the
+	// E10 ablation): condensations are rebuilt from scratch instead of
+	// updated from the edge log, and Batch.SolveDelta falls back to a cold
+	// exploration of the mutated system (over the same merged extrapolation
+	// maxima, so graphs, node counts and reports stay byte-identical with
+	// the ablation on or off).
+	DisableIncremental bool
 }
 
 // ErrBudget reports that the memory or time budget was exhausted, the
@@ -125,10 +132,11 @@ type Stats struct {
 	Duration      time.Duration // wall-clock solve time
 
 	// Parallel-propagation counters (zero under the serial engine).
-	SCCs               int // components in the last condensation of the graph
-	PropagationRounds  int // SCC propagation passes run
-	CrossSCCMessages   int // reschedules that crossed a component boundary
-	CondensationReuses int // propagation passes that reused the previous condensation
+	SCCs                     int // components in the last condensation of the graph
+	PropagationRounds        int // SCC propagation passes run
+	CrossSCCMessages         int // reschedules that crossed a component boundary
+	CondensationReuses       int // propagation passes that reused the previous condensation
+	CondensationIncrementals int // condensations updated in place from the edge log
 
 	// Batch counters (zero outside game.Batch solving): whether this solve
 	// reused an already-explored skeleton for its extrapolation signature.
@@ -256,10 +264,13 @@ type solver struct {
 
 	// Condensation cache: condense() reuses lastCond while the graph shape
 	// (node and transition counts; nodes and edges are only ever added) is
-	// unchanged since it was computed.
+	// unchanged since it was computed, and updates it incrementally from
+	// condEdits — the edges appended to pre-condensation nodes since — when
+	// the graph has grown (see scc.go).
 	lastCond      *condensation
 	lastCondNodes int
 	lastCondTrans int
+	condEdits     [][2]int32
 
 	exploreQ []int
 	reevalQ  []int
@@ -490,6 +501,7 @@ func (s *solver) explore(id int) error {
 		}
 		n.succs = append(n.succs, succRef{trans: sc.Trans, target: t.id})
 		t.addPred(id)
+		s.logCondEdit(id, t.id)
 		s.stats.Transitions++
 	}
 	s.scheduleReeval(id)

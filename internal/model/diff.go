@@ -1,0 +1,326 @@
+// Structural diffing of a mutated system against its base model.
+//
+// A campaign's K mutants each differ from the conformant model by one
+// mutation operator, so almost the entire zone graph of a mutant is
+// isomorphic to the base graph. Diff extracts exactly what changed — an
+// EditSet of per-edge and per-location deltas — which the incremental
+// re-solve path (game.Batch.SolveDelta) uses to re-explore only the dirty
+// cone of the mutant and the service cache uses as the second half of its
+// (base model hash × edit-set hash) key.
+
+package model
+
+import "fmt"
+
+// EdgeDiff pairs the two versions of one global edge ID: Base is nil for
+// an edge only the mutant has, Mut is nil for an edge only the base has,
+// and both are set when the edge exists in both systems with different
+// content (guard, target, channel, resets, assignments — or process, for
+// pathological edits).
+type EdgeDiff struct {
+	ID   int
+	Base *Edge
+	Mut  *Edge
+}
+
+// LocDiff names a location whose invariant, urgency or commitment differs.
+type LocDiff struct {
+	Proc, Loc int
+}
+
+// EditSet is the structural difference between two systems that share the
+// same discrete skeleton (clocks, channels, variables, processes and
+// location sets). Entries are in deterministic model order, so two equal
+// edits always hash equally.
+type EditSet struct {
+	Edges     []EdgeDiff
+	Locations []LocDiff
+}
+
+// Empty reports whether the two systems were structurally identical.
+func (es *EditSet) Empty() bool { return len(es.Edges) == 0 && len(es.Locations) == 0 }
+
+// Hash folds the edit set into the 64-bit key used alongside the base
+// model's content hash for incremental-solve caching: equal edits (against
+// the same base) describe the same mutated system.
+func (es *EditSet) Hash() uint64 {
+	h := hasher(fnvOffset64)
+	h.int(len(es.Edges))
+	for i := range es.Edges {
+		h.int(es.Edges[i].ID)
+		h.edgeVersion(es.Edges[i].Base)
+		h.edgeVersion(es.Edges[i].Mut)
+	}
+	h.int(len(es.Locations))
+	for _, l := range es.Locations {
+		h.int(l.Proc)
+		h.int(l.Loc)
+	}
+	return uint64(h)
+}
+
+func (h *hasher) edgeVersion(e *Edge) {
+	if e == nil {
+		h.int(-1)
+		return
+	}
+	h.int(e.Proc)
+	h.int(e.Src)
+	h.int(e.Dst)
+	h.int(e.Chan)
+	h.int(int(e.Dir))
+	h.int(int(e.Kind))
+	h.constraints(e.Guard.Clocks)
+	h.expr(e.Guard.Data)
+	h.int(len(e.Resets))
+	for _, r := range e.Resets {
+		h.int(r.Clock)
+		h.int(r.Value)
+	}
+	h.int(len(e.Assigns))
+	for _, a := range e.Assigns {
+		h.str(a.String())
+	}
+}
+
+// DirtyLocations computes, per process, the set of locations from which
+// the edit can change a state's symbolic successors or delay bound:
+// sources of every changed edge (in either version — a changed guard,
+// channel, target or assignment alters what fires from there), locations
+// whose own invariant changed (the delay bound), and sources of edges
+// entering a changed-invariant location (the invariant is applied on
+// entry, so the transition's target zone changes). A symbolic state is
+// clean — its successor list replays verbatim from the base graph —
+// exactly when no process sits on a dirty location.
+// ChangedEdgeIDs returns the global IDs of every edge the edit touches in
+// either version. From a state whose locations carry no location-level
+// edit, a transition candidate involving none of these IDs fires
+// identically in both systems — the per-candidate half of the delta
+// splice in game's incremental replay.
+func (es *EditSet) ChangedEdgeIDs() map[int]bool {
+	ids := make(map[int]bool, len(es.Edges))
+	for i := range es.Edges {
+		ids[es.Edges[i].ID] = true
+	}
+	return ids
+}
+
+// ChangedLocations returns, per process, the locations whose own
+// attributes (invariant, urgency or commitment) the edit changes. Unlike
+// DirtyLocations it does not close over edge sources: it answers "does
+// this location itself constrain states differently", which the delta
+// splice checks for a state's current locations and for each candidate's
+// target locations.
+func (es *EditSet) ChangedLocations(base *System) [][]bool {
+	ch := make([][]bool, len(base.Procs))
+	for pi, p := range base.Procs {
+		ch[pi] = make([]bool, len(p.Locations))
+	}
+	for _, l := range es.Locations {
+		ch[l.Proc][l.Loc] = true
+	}
+	return ch
+}
+
+// GuardOnlyEdges returns, keyed by global edge ID, the base version of
+// every edit that changes nothing but an edge's clock guard. Such an
+// edit's behaviour from a given symbolic state is fully determined by
+// zone ∧ guard: the enabled region, the fired successor and the backward
+// pred region all agree between the two systems whenever those two
+// intersections agree. The delta splice uses this to prove individual
+// states untouched by a guard mutation instead of conservatively
+// dirtying every state that can fire the edited edge.
+func (es *EditSet) GuardOnlyEdges() map[int]*Edge {
+	g := make(map[int]*Edge)
+	for i := range es.Edges {
+		b, m := es.Edges[i].Base, es.Edges[i].Mut
+		if b != nil && m != nil && edgeEqualModuloClockGuard(b, m) {
+			g[es.Edges[i].ID] = b
+		}
+	}
+	return g
+}
+
+func (es *EditSet) DirtyLocations(base, mut *System) [][]bool {
+	dirty := make([][]bool, len(base.Procs))
+	for pi, p := range base.Procs {
+		dirty[pi] = make([]bool, len(p.Locations))
+	}
+	markSrc := func(e *Edge) {
+		if e != nil && e.Proc < len(dirty) && e.Src < len(dirty[e.Proc]) {
+			dirty[e.Proc][e.Src] = true
+		}
+	}
+	for i := range es.Edges {
+		markSrc(es.Edges[i].Base)
+		markSrc(es.Edges[i].Mut)
+	}
+	for _, l := range es.Locations {
+		dirty[l.Proc][l.Loc] = true
+		for _, sys := range []*System{base, mut} {
+			p := sys.Procs[l.Proc]
+			for ei := range p.Edges {
+				if p.Edges[ei].Dst == l.Loc {
+					markSrc(&p.Edges[ei])
+				}
+			}
+		}
+	}
+	return dirty
+}
+
+// Diff structurally compares a mutated system against its base. The two
+// must share the same discrete skeleton — clocks, channels, variable
+// declarations, processes, location names and initial locations; anything
+// else differing there returns an error and the caller falls back to a
+// cold solve. Within that skeleton, edges are matched by their global ID
+// (mutation operators preserve IDs by construction) and locations by
+// index; every mismatch becomes an EditSet entry.
+func Diff(base, mut *System) (*EditSet, error) {
+	if err := diffCompatible(base, mut); err != nil {
+		return nil, err
+	}
+	es := &EditSet{}
+	mutByID := map[int]*Edge{}
+	for _, p := range mut.Procs {
+		for ei := range p.Edges {
+			mutByID[p.Edges[ei].ID] = &p.Edges[ei]
+		}
+	}
+	matched := map[int]bool{}
+	for _, p := range base.Procs {
+		for ei := range p.Edges {
+			b := &p.Edges[ei]
+			m, ok := mutByID[b.ID]
+			if !ok {
+				es.Edges = append(es.Edges, EdgeDiff{ID: b.ID, Base: b})
+				continue
+			}
+			matched[b.ID] = true
+			if !edgeEqual(b, m) {
+				es.Edges = append(es.Edges, EdgeDiff{ID: b.ID, Base: b, Mut: m})
+			}
+		}
+	}
+	for _, p := range mut.Procs {
+		for ei := range p.Edges {
+			m := &p.Edges[ei]
+			if !matched[m.ID] {
+				es.Edges = append(es.Edges, EdgeDiff{ID: m.ID, Mut: m})
+			}
+		}
+	}
+	for pi, bp := range base.Procs {
+		mp := mut.Procs[pi]
+		for li := range bp.Locations {
+			if !locEqual(&bp.Locations[li], &mp.Locations[li]) {
+				es.Locations = append(es.Locations, LocDiff{Proc: pi, Loc: li})
+			}
+		}
+	}
+	return es, nil
+}
+
+func diffCompatible(base, mut *System) error {
+	if len(base.Clocks) != len(mut.Clocks) {
+		return fmt.Errorf("model: diff: clock count %d vs %d", len(base.Clocks), len(mut.Clocks))
+	}
+	for i := range base.Clocks {
+		if base.Clocks[i].Name != mut.Clocks[i].Name {
+			return fmt.Errorf("model: diff: clock %d renamed %s -> %s", i, base.Clocks[i].Name, mut.Clocks[i].Name)
+		}
+	}
+	if len(base.Channels) != len(mut.Channels) {
+		return fmt.Errorf("model: diff: channel count %d vs %d", len(base.Channels), len(mut.Channels))
+	}
+	for i := range base.Channels {
+		if base.Channels[i].Name != mut.Channels[i].Name || base.Channels[i].Kind != mut.Channels[i].Kind {
+			return fmt.Errorf("model: diff: channel %d differs", i)
+		}
+	}
+	if base.Vars.NumDecls() != mut.Vars.NumDecls() {
+		return fmt.Errorf("model: diff: variable count %d vs %d", base.Vars.NumDecls(), mut.Vars.NumDecls())
+	}
+	for i := 0; i < base.Vars.NumDecls(); i++ {
+		b, m := base.Vars.Decl(i), mut.Vars.Decl(i)
+		if b.Name != m.Name || b.Min != m.Min || b.Max != m.Max || b.Len != m.Len || len(b.Init) != len(m.Init) {
+			return fmt.Errorf("model: diff: variable %s differs", b.Name)
+		}
+		for j := range b.Init {
+			if b.Init[j] != m.Init[j] {
+				return fmt.Errorf("model: diff: variable %s init differs", b.Name)
+			}
+		}
+	}
+	if len(base.Procs) != len(mut.Procs) {
+		return fmt.Errorf("model: diff: process count %d vs %d", len(base.Procs), len(mut.Procs))
+	}
+	for pi, bp := range base.Procs {
+		mp := mut.Procs[pi]
+		if bp.Name != mp.Name || bp.Init != mp.Init {
+			return fmt.Errorf("model: diff: process %s head differs", bp.Name)
+		}
+		if len(bp.Locations) != len(mp.Locations) {
+			return fmt.Errorf("model: diff: process %s location count %d vs %d", bp.Name, len(bp.Locations), len(mp.Locations))
+		}
+		for li := range bp.Locations {
+			if bp.Locations[li].Name != mp.Locations[li].Name {
+				return fmt.Errorf("model: diff: process %s location %d renamed", bp.Name, li)
+			}
+		}
+	}
+	return nil
+}
+
+func edgeEqual(a, b *Edge) bool {
+	return constraintsEqual(a.Guard.Clocks, b.Guard.Clocks) && edgeEqualModuloClockGuard(a, b)
+}
+
+// edgeEqualModuloClockGuard compares every edge attribute except the clock
+// guard: endpoints, channel, kind, data guard, resets and assignments.
+func edgeEqualModuloClockGuard(a, b *Edge) bool {
+	if a.Proc != b.Proc || a.Src != b.Src || a.Dst != b.Dst ||
+		a.Chan != b.Chan || a.Dir != b.Dir || a.Kind != b.Kind {
+		return false
+	}
+	if (a.Guard.Data == nil) != (b.Guard.Data == nil) {
+		return false
+	}
+	if a.Guard.Data != nil && a.Guard.Data.String() != b.Guard.Data.String() {
+		return false
+	}
+	if len(a.Resets) != len(b.Resets) {
+		return false
+	}
+	for i := range a.Resets {
+		if a.Resets[i] != b.Resets[i] {
+			return false
+		}
+	}
+	if len(a.Assigns) != len(b.Assigns) {
+		return false
+	}
+	for i := range a.Assigns {
+		if a.Assigns[i].String() != b.Assigns[i].String() {
+			return false
+		}
+	}
+	return true
+}
+
+func locEqual(a, b *Location) bool {
+	return a.Urgent == b.Urgent && a.Committed == b.Committed &&
+		constraintsEqual(a.Invariant, b.Invariant)
+}
+
+func constraintsEqual(a, b []ClockConstraint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

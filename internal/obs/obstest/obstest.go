@@ -1,0 +1,179 @@
+// Package obstest is the test-only flake guard for assertions that depend
+// on wall-clock margins: deadline-expiry latency bounds, fleet probe and
+// drain windows, fault-injected link timing. On a slow or oversubscribed
+// CI runner such an assertion can fail with the code under test perfectly
+// healthy, so Retry reruns the enclosing block a small fixed number of
+// times before letting the failure reach the real testing.T.
+//
+// Policy (documented in DESIGN.md): only blocks whose failure mode is a
+// timing margin may be wrapped — an assertion about logic (counter values,
+// byte-identical reports, typed errors) must stay unwrapped so a genuine
+// regression is never retried into silence. The wrapped block must be
+// self-contained: it re-creates its fixtures each attempt (Cleanup on the
+// attempt T runs at the end of that attempt, LIFO, exactly like
+// testing.T.Cleanup), and the final attempt runs on the real testing.T so
+// a persistent failure reports with ordinary test output. The backoff
+// between attempts is deterministic, seeded from the test name, so retried
+// tests running in parallel do not resynchronize into the same contention
+// spike that failed them.
+package obstest
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// T is the slice of *testing.T a retried block may use. *testing.T
+// implements it; so does the per-attempt recorder, which turns Fatal into
+// an attempt abort instead of a test abort. As with testing.T, Fatal and
+// FailNow must be called from the goroutine running the block — a spawned
+// goroutine should report through Error or a channel instead.
+type T interface {
+	Helper()
+	Cleanup(func())
+	Log(args ...any)
+	Logf(format string, args ...any)
+	Error(args ...any)
+	Errorf(format string, args ...any)
+	Fatal(args ...any)
+	Fatalf(format string, args ...any)
+	FailNow()
+	Failed() bool
+}
+
+// Retry runs fn up to attempts times. The first attempts-1 runs execute
+// against a recorder: a failure is logged and retried after a seeded
+// backoff. The last run executes against the real t, so its failures fail
+// the test normally. A passing attempt returns immediately.
+func Retry(t *testing.T, attempts int, fn func(t T)) {
+	t.Helper()
+	for i := 1; i < attempts; i++ {
+		a := &attempt{}
+		if a.run(fn) {
+			if i > 1 {
+				t.Logf("obstest: passed on attempt %d/%d", i, attempts)
+			}
+			return
+		}
+		d := backoff(t.Name(), i)
+		t.Logf("obstest: attempt %d/%d failed on a timing margin; retrying in %v\n%s",
+			i, attempts, d, a.failures())
+		time.Sleep(d)
+	}
+	fn(t)
+}
+
+// backoff grows linearly with the attempt number plus a deterministic
+// per-test jitter, so two retried tests never share a wakeup schedule.
+func backoff(name string, attempt int) time.Duration {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	jitter := time.Duration(h.Sum64()%128) * time.Millisecond
+	return time.Duration(attempt)*250*time.Millisecond + jitter
+}
+
+// attempt records one retryable run: failures accumulate instead of
+// failing the test, Fatal unwinds only the attempt goroutine, and Cleanup
+// functions run LIFO when the attempt finishes.
+type attempt struct {
+	mu       sync.Mutex
+	failed   bool
+	msgs     []string
+	cleanups []func()
+}
+
+// run executes fn in its own goroutine (so Fatal's runtime.Goexit unwinds
+// the attempt, not the test), runs the attempt's cleanups, and reports
+// whether the attempt passed.
+func (a *attempt) run(fn func(T)) bool {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer a.runCleanups()
+		defer func() {
+			if r := recover(); r != nil {
+				a.Errorf("attempt panicked: %v", r)
+			}
+		}()
+		fn(a)
+	}()
+	<-done
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return !a.failed
+}
+
+func (a *attempt) runCleanups() {
+	a.mu.Lock()
+	cs := a.cleanups
+	a.cleanups = nil
+	a.mu.Unlock()
+	for i := len(cs) - 1; i >= 0; i-- {
+		func(f func()) {
+			defer func() {
+				if r := recover(); r != nil {
+					a.Errorf("attempt cleanup panicked: %v", r)
+				}
+			}()
+			f()
+		}(cs[i])
+	}
+}
+
+// failures renders the attempt's recorded messages, indented for t.Logf.
+func (a *attempt) failures() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.msgs) == 0 {
+		return "    (no failure message recorded)"
+	}
+	return "    " + strings.Join(a.msgs, "\n    ")
+}
+
+func (a *attempt) record(fail bool, msg string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.failed = a.failed || fail
+	a.msgs = append(a.msgs, strings.TrimSuffix(msg, "\n"))
+}
+
+func (a *attempt) Helper() {}
+
+func (a *attempt) Cleanup(f func()) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.cleanups = append(a.cleanups, f)
+}
+
+func (a *attempt) Log(args ...any)                 { a.record(false, fmt.Sprintln(args...)) }
+func (a *attempt) Logf(format string, args ...any) { a.record(false, fmt.Sprintf(format, args...)) }
+func (a *attempt) Error(args ...any)               { a.record(true, fmt.Sprintln(args...)) }
+func (a *attempt) Errorf(format string, args ...any) {
+	a.record(true, fmt.Sprintf(format, args...))
+}
+
+func (a *attempt) Fatal(args ...any) {
+	a.record(true, fmt.Sprintln(args...))
+	runtime.Goexit()
+}
+
+func (a *attempt) Fatalf(format string, args ...any) {
+	a.record(true, fmt.Sprintf(format, args...))
+	runtime.Goexit()
+}
+
+func (a *attempt) FailNow() {
+	a.record(true, "FailNow")
+	runtime.Goexit()
+}
+
+func (a *attempt) Failed() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.failed
+}

@@ -1,0 +1,90 @@
+package obstest
+
+import (
+	"testing"
+)
+
+// TestRetryEventuallyPasses: a block that fails its first two attempts on
+// Fatalf passes on the third without failing the real test, and the code
+// after the failing assertion is never reached on failed attempts.
+func TestRetryEventuallyPasses(t *testing.T) {
+	runs, reached := 0, 0
+	Retry(t, 3, func(t T) {
+		runs++
+		if runs < 3 {
+			t.Fatalf("simulated timing-margin failure %d", runs)
+		}
+		reached++
+	})
+	if runs != 3 {
+		t.Fatalf("block ran %d times, want 3", runs)
+	}
+	if reached != 1 {
+		t.Fatalf("post-Fatal code reached %d times, want 1 (final attempt only)", reached)
+	}
+}
+
+// TestRetryFirstPassShortCircuits: a passing block runs exactly once.
+func TestRetryFirstPassShortCircuits(t *testing.T) {
+	runs := 0
+	Retry(t, 5, func(t T) { runs++ })
+	if runs != 1 {
+		t.Fatalf("passing block ran %d times, want 1", runs)
+	}
+}
+
+// TestRetryCleanupsPerAttempt: attempt cleanups run at the end of EVERY
+// attempt, in LIFO order, so retried fixtures never leak across attempts.
+func TestRetryCleanupsPerAttempt(t *testing.T) {
+	var order []string
+	runs := 0
+	Retry(t, 2, func(t T) {
+		runs++
+		n := runs
+		t.Cleanup(func() { order = append(order, "first") })
+		t.Cleanup(func() { order = append(order, "second") })
+		if n == 1 {
+			t.Fatal("force a retry")
+		}
+		// Final attempt runs on the real t: its cleanups run at test end,
+		// after this function returns, so only attempt 1's are visible here.
+	})
+	if len(order) != 2 || order[0] != "second" || order[1] != "first" {
+		t.Fatalf("attempt cleanups ran %v, want LIFO [second first]", order)
+	}
+}
+
+// TestRetryRecoversPanic: a panicking attempt counts as a failed attempt
+// (and is retried) instead of crashing the test binary.
+func TestRetryRecoversPanic(t *testing.T) {
+	runs := 0
+	Retry(t, 2, func(t T) {
+		runs++
+		if runs == 1 {
+			panic("simulated fixture panic")
+		}
+	})
+	if runs != 2 {
+		t.Fatalf("panicking block ran %d times, want 2", runs)
+	}
+}
+
+// TestAttemptErrorContinues: Error records the failure but does not stop
+// the attempt, mirroring testing.T semantics.
+func TestAttemptErrorContinues(t *testing.T) {
+	a := &attempt{}
+	after := false
+	ok := a.run(func(t T) {
+		t.Errorf("soft failure")
+		after = true
+	})
+	if ok {
+		t.Fatal("attempt with an Error must report failed")
+	}
+	if !after {
+		t.Fatal("Error must not abort the attempt")
+	}
+	if !a.Failed() {
+		t.Fatal("Failed() must reflect the recorded error")
+	}
+}

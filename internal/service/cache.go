@@ -39,13 +39,17 @@ import (
 // edge-goal solves additionally carry the watched edge's identity: their
 // purposes render as "traversed(<edge>)" labels rather than state
 // predicates, so the ghost edge id is part of the content (and guards
-// against two distinct edges ever rendering alike).
+// against two distinct edges ever rendering alike). Mutant-analysis solves
+// carry the mutant's edit-set hash against the base model — the (base
+// model hash × edit-set hash) pair addresses the mutated system without
+// the service ever registering it.
 type cacheKey struct {
 	model   uint64 // model.System.Hash()
 	sig     string // game.ExtrapolationSignature
 	purpose string // canonical tctl rendering
 	edge    int    // ghost-watched edge id; -1 for plain purposes
 	coop    bool   // strict vs cooperative game
+	edits   uint64 // model.EditSet.Hash of a mutant-analysis solve; 0 otherwise
 }
 
 // cacheEntry is one cache slot; ready closes when res/err are final.

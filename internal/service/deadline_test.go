@@ -17,6 +17,7 @@ import (
 
 	"tigatest/internal/game"
 	"tigatest/internal/models"
+	"tigatest/internal/obs/obstest"
 )
 
 func testKey(purpose string) cacheKey {
@@ -205,15 +206,20 @@ func TestRequestDeadlineLEP4(t *testing.T) {
 	}
 	defer cli.Close()
 
-	start := time.Now()
-	_, err = cli.Do(Request{Op: "synthesize", Model: lepName, Purpose: models.LEPTP1, Mode: "strict", DeadlineMS: 20}, nil)
-	elapsed := time.Since(start)
-	if !errors.Is(err, ErrDeadline) {
-		t.Fatalf("want ErrDeadline, got %v (after %v)", err, elapsed)
-	}
-	if elapsed > 10*time.Second {
-		t.Fatalf("deadline response took %v — withdrawal must not wait for the solver", elapsed)
-	}
+	// Wall-clock margin: how fast the expired deadline answers depends on
+	// the runner, so the latency bound is retried (each attempt issues a
+	// fresh deadlined request; its canceled entry is evicted either way).
+	obstest.Retry(t, 3, func(t obstest.T) {
+		start := time.Now()
+		_, err := cli.Do(Request{Op: "synthesize", Model: lepName, Purpose: models.LEPTP1, Mode: "strict", DeadlineMS: 20}, nil)
+		elapsed := time.Since(start)
+		if !errors.Is(err, ErrDeadline) {
+			t.Fatalf("want ErrDeadline, got %v (after %v)", err, elapsed)
+		}
+		if elapsed > 10*time.Second {
+			t.Fatalf("deadline response took %v — withdrawal must not wait for the solver", elapsed)
+		}
+	})
 
 	// The slot is free and the session usable: an unrelated request works.
 	if _, err := cli.Synthesize("smartlight", models.SmartLightGoal, "strict"); err != nil {
@@ -256,15 +262,20 @@ func TestRequestDeadlineLEP6(t *testing.T) {
 	}
 	defer cli.Close()
 
-	start := time.Now()
-	_, err = cli.Do(Request{Op: "synthesize", Model: lepName, Purpose: models.LEPTP1, Mode: "strict", DeadlineMS: 50}, nil)
-	elapsed := time.Since(start)
-	if !errors.Is(err, ErrDeadline) {
-		t.Fatalf("want ErrDeadline, got %v (after %v)", err, elapsed)
-	}
-	if elapsed >= time.Second {
-		t.Fatalf("deadline response took %v, want < 1s", elapsed)
-	}
+	// Wall-clock margin: the sub-second bound is the acceptance criterion
+	// but a loaded runner can miss it without a daemon defect, so it is
+	// retried under the obstest policy (see DESIGN.md).
+	obstest.Retry(t, 3, func(t obstest.T) {
+		start := time.Now()
+		_, err := cli.Do(Request{Op: "synthesize", Model: lepName, Purpose: models.LEPTP1, Mode: "strict", DeadlineMS: 50}, nil)
+		elapsed := time.Since(start)
+		if !errors.Is(err, ErrDeadline) {
+			t.Fatalf("want ErrDeadline, got %v (after %v)", err, elapsed)
+		}
+		if elapsed >= time.Second {
+			t.Fatalf("deadline response took %v, want < 1s", elapsed)
+		}
+	})
 	if _, err := cli.Synthesize("smartlight", models.SmartLightGoal, "strict"); err != nil {
 		t.Fatalf("unrelated request on the same session: %v", err)
 	}

@@ -1,0 +1,91 @@
+// Fuzzing of the daemon's line-JSON control protocol: arbitrary bytes are
+// fed to a live session over an in-memory pipe and driven through the real
+// serve loop — decoder, dispatcher, handlers, response encoder. The
+// properties are liveness and containment: the session must terminate once
+// the client is done (no hang, no leaked serve goroutine) and the daemon
+// must never panic out of a request (dispatch recovers handler panics into
+// typed responses; a panic that escapes kills the fuzz process and is a
+// finding).
+
+package service
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"tigatest/internal/game"
+	"tigatest/internal/models"
+)
+
+// fuzzService builds a daemon with the smartlight model registered and a
+// short request timeout so ops that solve or execute stay bounded per
+// exec.
+func fuzzService(tb testing.TB) *Service {
+	tb.Helper()
+	s := New(Options{
+		Solver:         game.Options{Workers: 1, PropagationWorkers: 1},
+		RequestTimeout: 100 * time.Millisecond,
+	})
+	sys := models.SmartLight()
+	if err := s.AddModel(sys, models.SmartLightEnv(sys), nil); err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// FuzzProtocolLine drives one session with the fuzz input as the client's
+// byte stream. Runs from the checked-in corpus (testdata/fuzz/
+// FuzzProtocolLine) on every `go test`; CI additionally runs a timed -fuzz
+// smoke.
+func FuzzProtocolLine(f *testing.F) {
+	s := fuzzService(f)
+	for _, seed := range protocolSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		client, server := net.Pipe()
+		ss := newSession(s, server)
+		served := make(chan struct{})
+		go func() {
+			defer close(served)
+			ss.serve() // closes server on return
+		}()
+		// Writer and reader run concurrently: net.Pipe is synchronous, so
+		// the client must drain responses while writing requests. Either
+		// side unblocks when the other end closes.
+		go func() {
+			_, _ = client.Write(data)
+			client.Close() // EOF for the session's next decode
+		}()
+		_, _ = io.Copy(io.Discard, client)
+		select {
+		case <-served:
+		case <-time.After(30 * time.Second):
+			t.Fatal("session did not terminate after client close")
+		}
+	})
+}
+
+// protocolSeeds are request lines covering every op plus malformed frames.
+func protocolSeeds() [][]byte {
+	return [][]byte{
+		[]byte(`{"op":"stats"}` + "\n"),
+		[]byte(`{"op":"synthesize","model":"smartlight","purpose":"control: A<> IUT.Bright"}` + "\n"),
+		[]byte(`{"op":"synthesize","model":"smartlight","purpose":"control: A<> IUT.Bright","mode":"cooperative"}` + "\n"),
+		[]byte(`{"op":"strategy","model":"smartlight","purpose":"control: A<> IUT.Bright"}` + "\n"),
+		[]byte(`{"op":"run","model":"smartlight","purpose":"control: A<> IUT.Bright","iut":"local","repeats":2,"seed":7}` + "\n"),
+		[]byte(`{"op":"campaign","model":"smartlight","coverage":"loc","mutants":-1,"deadline_ms":50}` + "\n"),
+		[]byte(`{"op":"trace","limit":4}` + "\n"),
+		[]byte(`{"op":"peer_ping"}` + "\n"),
+		[]byte(`{"op":"peer_strategy","model":"smartlight","purpose":"control: A<> IUT.Bright","model_hash":"0"}` + "\n"),
+		[]byte(`{"op":"nope"}` + "\n"),
+		[]byte(`{"op":"stats"}` + "\n" + `{"op":"stats"}` + "\n"),
+		[]byte(`{"op":`),
+		[]byte("\n\n\n"),
+		[]byte(`[]`),
+		[]byte(`"str"`),
+		[]byte(`{"op":"run","model":"smartlight","purpose":"control: A<> IUT.Bright","iut":"inline"}` + "\n" + `{"type":"reset_done"}` + "\n"),
+	}
+}

@@ -384,6 +384,7 @@ func (s *Service) solveVia(me *modelEntry, done <-chan struct{}, tctx obs.SpanCo
 			purpose: key.Purpose,
 			edge:    key.EdgeID,
 			coop:    key.Cooperative,
+			edits:   key.EditHash,
 		}
 		return s.cache.get(ck, done, func(cancel <-chan struct{}) (*game.Result, error) {
 			me.solveMu.Lock()

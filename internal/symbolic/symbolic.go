@@ -206,10 +206,36 @@ func (ex *Explorer) Successors(s *State) ([]Succ, error) {
 // the extended slice, so callers exploring many states can reuse one
 // buffer instead of allocating per state.
 func (ex *Explorer) AppendSuccessors(dst []Succ, s *State) ([]Succ, error) {
-	sys := ex.Sys
 	out := dst
+	err := ex.Candidates(s, func(t Transition) error {
+		succ, err := ex.fire(s, t)
+		if err != nil {
+			return err
+		}
+		if succ != nil {
+			out = append(out, *succ)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Candidates invokes fn for every discrete-transition candidate of s —
+// internal edges, then synchronized emitter/receiver pairs — in exactly
+// the order AppendSuccessors fires them, with the committed-location
+// filter applied but the guards not yet evaluated. The Transition's Edges
+// slice is scratch reused across calls: fn must Fire the candidate (Fire
+// unshares it on success) or copy whatever it keeps. The incremental
+// delta replay (package game) walks candidates to decide, per transition,
+// whether the base graph's successor can be reused or the mutant must
+// fire it.
+func (ex *Explorer) Candidates(s *State, fn func(t Transition) error) error {
+	sys := ex.Sys
 	committed := sys.IsCommitted(s.Locs)
-	// One scratch edge list serves every fire attempt; fire copies it only
+	// One scratch edge list serves every candidate; fire copies it only
 	// for enabled transitions, so disabled attempts allocate nothing.
 	scratch := make([]*model.Edge, 0, 2)
 
@@ -223,17 +249,13 @@ func (ex *Explorer) AppendSuccessors(dst []Succ, s *State) ([]Succ, error) {
 			if committed && !p.Locations[e.Src].Committed {
 				continue
 			}
-			succ, err := ex.fire(s, Transition{
+			if err := fn(Transition{
 				Kind:  e.Kind,
 				Chan:  -1,
 				Edges: append(scratch[:0], e),
 				Label: ex.tauLabels[pi][ei],
-			})
-			if err != nil {
-				return nil, err
-			}
-			if succ != nil {
-				out = append(out, *succ)
+			}); err != nil {
+				return err
 			}
 		}
 	}
@@ -257,23 +279,26 @@ func (ex *Explorer) AppendSuccessors(dst []Succ, s *State) ([]Succ, error) {
 					if committed && !p.Locations[e.Src].Committed && !q.Locations[f.Src].Committed {
 						continue
 					}
-					succ, err := ex.fire(s, Transition{
+					if err := fn(Transition{
 						Kind:  sys.Channels[e.Chan].Kind,
 						Chan:  e.Chan,
 						Edges: append(scratch[:0], e, f),
 						Label: sys.Channels[e.Chan].Name,
-					})
-					if err != nil {
-						return nil, err
-					}
-					if succ != nil {
-						out = append(out, *succ)
+					}); err != nil {
+						return err
 					}
 				}
 			}
 		}
 	}
-	return out, nil
+	return nil
+}
+
+// Fire attempts candidate t from s; a nil Succ means the transition is
+// disabled. On success the returned transition owns a fresh Edges slice,
+// so the caller's candidate scratch is safe to reuse.
+func (ex *Explorer) Fire(s *State, t Transition) (*Succ, error) {
+	return ex.fire(s, t)
 }
 
 // fire attempts to take the transition from s; nil result means disabled.
